@@ -1,0 +1,21 @@
+"""Shared reporting for the benchmark harness.
+
+Every bench regenerates one paper artifact (a table or figure) and both
+prints its rows and writes them under ``benchmarks/results/`` so the
+paper-vs-measured record in EXPERIMENTS.md can be refreshed from a
+single run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report and persist it to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

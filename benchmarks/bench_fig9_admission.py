@@ -1,0 +1,32 @@
+"""Fig. 9 — large scale: per-task admission ratio vs SEM-O-RAN.
+
+The paper: at low rate OffloaDNN admits all 20 tasks (SEM-O-RAN 16); at
+medium ~all (SEM-O-RAN 16); at high the top-priority tasks keep ratio
+1, the next ones degrade gracefully, the last are rejected, while
+SEM-O-RAN admits only 13 all-or-nothing.
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import emit
+from repro.analysis.figures import fig9_admission_ratios
+from repro.analysis.report import format_series
+
+
+def bench_fig9_admission_ratios(benchmark):
+    data = benchmark.pedantic(lambda: fig9_admission_ratios(), rounds=1, iterations=1)
+    lines = ["Fig. 9: admission ratio per task (ids 1..20)"]
+    for rate in ("low", "medium", "high"):
+        series = data[rate]
+        lines.append(f"[{rate} request rate]")
+        lines.append(format_series("  OffloaDNN", series["offloadnn"], precision=2))
+        lines.append(format_series("  SEM-O-RAN", series["semoran"], precision=2))
+    emit("fig9_admission", "\n".join(lines))
+
+    assert all(z == 1.0 for z in data["low"]["offloadnn"])
+    assert sum(data["low"]["semoran"]) == 16
+    assert sum(1 for z in data["medium"]["offloadnn"] if z >= 0.99) >= 19
+    high = data["high"]["offloadnn"]
+    assert all(z == 1.0 for z in high[:10])
+    assert high[-1] == 0.0
+    assert sum(data["high"]["semoran"]) <= 13

@@ -1,0 +1,63 @@
+"""Online operation bench — the dynamic-scenario extension in action.
+
+Runs the Poisson-arrival / exponential-lifetime study at three offered
+loads and reports the steady-state behaviour: admission fraction,
+peak deployed memory and RB usage, clean drain at the end.
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import emit
+from repro.analysis.report import format_table
+from repro.edge.online import OnlineStudy
+
+
+def bench_online_operation(benchmark):
+    loads = (
+        ("light", 0.1, 30.0),
+        ("moderate", 0.4, 40.0),
+        ("heavy", 1.5, 60.0),
+    )
+
+    def run():
+        results = {}
+        for label, rate, lifetime in loads:
+            study = OnlineStudy(
+                arrival_rate_per_s=rate,
+                mean_lifetime_s=lifetime,
+                horizon_s=240.0,
+                seed=4,
+            )
+            results[label] = (study, study.run())
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for label, (study, trace) in results.items():
+        _, memory = trace.series("deployed_memory_gb")
+        _, rbs = trace.series("allocated_rbs")
+        rows.append(
+            [
+                label,
+                trace.arrivals,
+                trace.admission_fraction,
+                max(memory),
+                max(rbs),
+                trace.snapshots[-1].active_tasks,
+            ]
+        )
+    emit(
+        "online",
+        "Online operation (Poisson arrivals, exponential lifetimes, 240 s)\n"
+        + format_table(
+            ["load", "arrivals", "admit frac", "peak mem GB", "peak RBs", "left over"],
+            rows,
+            precision=2,
+        ),
+    )
+    light = results["light"][1]
+    heavy = results["heavy"][1]
+    assert light.admission_fraction == 1.0
+    assert heavy.admission_fraction < 0.5  # RB pool gates heavy load
+    for _, trace in results.values():
+        assert trace.snapshots[-1].active_tasks == 0  # clean drain

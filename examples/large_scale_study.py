@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Large-scale study: OffloaDNN vs SEM-O-RAN at three request loads.
+
+Reproduces the Figs. 9-10 experiment: 20 tasks, low/medium/high request
+rates, comparing admission ratios and resource consumption between the
+OffloaDNN heuristic and the SEM-O-RAN baseline.
+
+Run:  python examples/large_scale_study.py
+"""
+
+from repro.baselines import SemORANSolver
+from repro.core import OffloaDNNSolver, objective_value
+from repro.workloads import RequestRate, large_scale_problem
+
+
+def bar(fraction: float, width: int = 30) -> str:
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    for rate in RequestRate:
+        problem = large_scale_problem(rate)
+        offloadnn = OffloaDNNSolver().solve(problem)
+        semoran = SemORANSolver().solve(problem)
+
+        print(f"\n=== {rate.label} request rate ({rate.value} req/s per task) ===")
+        print("admission ratio per task (ids 1..20):")
+        for name, sol in (("OffloaDNN", offloadnn), ("SEM-O-RAN", semoran)):
+            ratios = " ".join(
+                f"{sol.assignment(t).admission_ratio:4.2f}" for t in range(1, 21)
+            )
+            print(f"  {name:10s} {ratios}")
+
+        budgets = problem.budgets
+        print("resource usage (fraction of budget):")
+        for label, off_val, sem_val in (
+            ("radio RBs", offloadnn.total_radio_blocks / budgets.radio_blocks,
+             semoran.total_radio_blocks / budgets.radio_blocks),
+            ("memory", offloadnn.total_memory_gb / budgets.memory_gb,
+             semoran.total_memory_gb / budgets.memory_gb),
+            ("inference", offloadnn.total_inference_compute_s / budgets.compute_time_s,
+             semoran.total_inference_compute_s / budgets.compute_time_s),
+        ):
+            print(f"  {label:10s} OffloaDNN [{bar(off_val)}] {off_val:5.1%}")
+            print(f"  {'':10s} SEM-O-RAN [{bar(sem_val)}] {sem_val:5.1%}")
+        print(
+            f"admitted tasks: OffloaDNN {offloadnn.admitted_task_count} vs "
+            f"SEM-O-RAN {semoran.admitted_task_count}; "
+            f"DOT cost (OffloaDNN): {objective_value(problem, offloadnn):.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Real gradient-based fine-tuning on the numpy engine.
+
+Goes beyond the calibrated Fig. 2 surrogate: fine-tunes the trainable
+suffix of two Table I configurations with *exact* backpropagation
+(validated against finite differences in the test suite), on a small
+synthetic image dataset, and contrasts their convergence — CONFIG B
+(head only) trains fast with few parameters; CONFIG C (last stage +
+head) adapts more capacity per step.
+
+Run:  python examples/real_finetuning.py   (~1 minute on CPU)
+"""
+
+import numpy as np
+
+from repro.dnn.configs import get_config
+from repro.dnn.datasets import ImageDataset, make_image_dataset
+from repro.dnn.finetune import FineTuner
+from repro.dnn.resnet import build_resnet18
+
+
+def split(dataset: ImageDataset, fraction: float, seed: int):
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset.labels))
+    cut = int(fraction * len(order))
+    make = lambda idx: ImageDataset(
+        images=dataset.images[idx], labels=dataset.labels[idx],
+        num_classes=dataset.num_classes,
+    )
+    return make(order[:cut]), make(order[cut:])
+
+
+def main() -> None:
+    full = make_image_dataset(num_classes=5, samples_per_class=20, image_size=12,
+                              noise_std=0.3, seed=0)
+    train, test = split(full, 0.75, seed=1)
+    print(f"dataset: {len(train.labels)} train / {len(test.labels)} test images, "
+          f"{full.num_classes} classes\n")
+
+    for name, lr in (("CONFIG B", 0.05), ("CONFIG C", 0.01)):
+        config = get_config(name)
+        model = build_resnet18(num_classes=5, input_size=12, width=8, seed=0)
+        tuner = FineTuner(model, config, lr=lr, batch_size=16, seed=0)
+        trainable_params = sum(p.size for p in tuner.suffix.parameters())
+        print(f"{name}: training {tuner.trainable_names} "
+              f"({trainable_params:,} parameters), frozen {tuner.frozen_names}")
+        run = tuner.fit(train, test, epochs=8)
+        for epoch in range(0, 8, 2):
+            print(f"  epoch {epoch + 1}: loss {run.train_loss[epoch]:7.3f}  "
+                  f"train acc {run.train_accuracy[epoch]:.2f}  "
+                  f"test acc {run.test_accuracy[epoch]:.2f}")
+        print(f"  final: train {run.train_accuracy[-1]:.2f}, "
+              f"test {run.test_accuracy[-1]:.2f}\n")
+
+    print("Every gradient used above is exact (checked against finite")
+    print("differences in tests/test_dnn_autograd.py); the long 250-epoch")
+    print("runs of Fig. 2 use the calibrated surrogate instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Small-scale study: how close does OffloaDNN get to the optimum?
+
+Reproduces the Figs. 6-8 experiment: for T = 1..4 tasks (T = 5 takes
+~20 s for the exhaustive optimum; pass --full to include it), solve the
+DOT problem both ways and compare runtime, objective, admission and
+resource usage.
+
+Run:  python examples/small_scale_study.py [--full]
+"""
+
+import sys
+
+from repro.core import OffloaDNNSolver, OptimalSolver, objective_value
+from repro.workloads import small_scale_problem
+
+
+def main() -> None:
+    max_tasks = 5 if "--full" in sys.argv else 4
+    header = (
+        f"{'T':>2} {'Off. time':>10} {'Opt. time':>10} {'Off. cost':>10} "
+        f"{'Opt. cost':>10} {'w.adm (both)':>12} {'Off. mem':>9} {'Opt. mem':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for num_tasks in range(1, max_tasks + 1):
+        problem = small_scale_problem(num_tasks)
+        heuristic = OffloaDNNSolver().solve(problem)
+        optimal = OptimalSolver().solve(problem)
+        assert abs(
+            heuristic.weighted_admission_ratio - optimal.weighted_admission_ratio
+        ) < 1e-6, "admission should match the optimum in this scenario"
+        print(
+            f"{num_tasks:>2} "
+            f"{heuristic.solve_time_s * 1e3:>8.2f}ms "
+            f"{optimal.solve_time_s:>9.3f}s "
+            f"{objective_value(problem, heuristic):>10.4f} "
+            f"{objective_value(problem, optimal):>10.4f} "
+            f"{heuristic.weighted_admission_ratio:>12.2f} "
+            f"{heuristic.total_memory_gb:>8.2f}G "
+            f"{optimal.total_memory_gb:>8.2f}G"
+        )
+    print(
+        "\nOffloaDNN explores a single branch (O(T^2)); the optimum walks all "
+        "~15^T branches,\nwhich is what Fig. 6's exponential runtime gap shows."
+    )
+
+
+if __name__ == "__main__":
+    main()

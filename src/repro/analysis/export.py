@@ -1,0 +1,84 @@
+"""CSV export of the evaluation data.
+
+Writes each figure's series as a plain CSV so results can be plotted or
+diffed outside Python (the benches' text reports are for humans; these
+files are for tooling).
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from collections.abc import Iterable, Sequence
+
+__all__ = ["write_csv", "export_fig6", "export_fig9", "export_fig10", "export_all"]
+
+
+def write_csv(
+    path: str | pathlib.Path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> pathlib.Path:
+    """Write one CSV file; returns the path written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def export_fig6(out_dir: str | pathlib.Path, max_tasks: int = 5) -> pathlib.Path:
+    """Fig. 6 runtime series -> fig6_runtime.csv."""
+    from repro.analysis.figures import fig6_runtime_comparison
+
+    data = fig6_runtime_comparison(max_tasks=max_tasks)
+    rows = zip(data["num_tasks"], data["offloadnn_s"], data["optimum_s"])
+    return write_csv(
+        pathlib.Path(out_dir) / "fig6_runtime.csv",
+        ["num_tasks", "offloadnn_s", "optimum_s"],
+        rows,
+    )
+
+
+def export_fig9(out_dir: str | pathlib.Path, seed: int = 0) -> pathlib.Path:
+    """Fig. 9 admission ratios -> fig9_admission.csv (long format)."""
+    from repro.analysis.figures import fig9_admission_ratios
+
+    data = fig9_admission_ratios(seed=seed)
+    rows = []
+    for rate, series in data.items():
+        for task_id, off, sem in zip(
+            series["task_ids"], series["offloadnn"], series["semoran"]
+        ):
+            rows.append([rate, int(task_id), off, sem])
+    return write_csv(
+        pathlib.Path(out_dir) / "fig9_admission.csv",
+        ["rate", "task_id", "offloadnn", "semoran"],
+        rows,
+    )
+
+
+def export_fig10(out_dir: str | pathlib.Path, seed: int = 0) -> pathlib.Path:
+    """Fig. 10 resource panels -> fig10_largescale.csv."""
+    from repro.analysis.figures import fig10_largescale_comparison
+
+    data = fig10_largescale_comparison(seed=seed)
+    metric_names = sorted(next(iter(data.values())))
+    rows = [[rate] + [metrics[m] for m in metric_names] for rate, metrics in data.items()]
+    return write_csv(
+        pathlib.Path(out_dir) / "fig10_largescale.csv",
+        ["rate"] + metric_names,
+        rows,
+    )
+
+
+def export_all(out_dir: str | pathlib.Path, max_tasks: int = 5) -> list[pathlib.Path]:
+    """Export every CSV artifact; returns the written paths."""
+    return [
+        export_fig6(out_dir, max_tasks=max_tasks),
+        export_fig9(out_dir),
+        export_fig10(out_dir),
+    ]

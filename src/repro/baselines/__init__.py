@@ -1,0 +1,13 @@
+"""Baseline task-offloading policies.
+
+* :mod:`repro.baselines.semoran` -- the SEM-O-RAN state of the art [5]
+  the paper compares against in the large-scale evaluation
+* :mod:`repro.baselines.greedy` -- greedy no-sharing admission
+* :mod:`repro.baselines.random_policy` -- random feasible path choice
+"""
+
+from repro.baselines.semoran import SemORANSolver
+from repro.baselines.greedy import GreedyNoSharingSolver
+from repro.baselines.random_policy import RandomPathSolver
+
+__all__ = ["SemORANSolver", "GreedyNoSharingSolver", "RandomPathSolver"]

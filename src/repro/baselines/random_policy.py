@@ -1,0 +1,60 @@
+"""Random feasible path selection — a sanity-check lower baseline."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import DOTProblem
+from repro.core.solution import Assignment, DOTSolution
+from repro.core.subproblem import BranchItem, solve_branch
+from repro.core.tree import BranchState, build_tree
+
+__all__ = ["RandomPathSolver"]
+
+
+@dataclass
+class RandomPathSolver:
+    """Picks a uniformly random memory-feasible vertex at each layer."""
+
+    seed: int = 0
+    name: str = "random"
+    admission_floor: float = 1e-6
+
+    def solve(self, problem: DOTProblem) -> DOTSolution:
+        start = time.perf_counter()
+        rng = np.random.default_rng(self.seed)
+        tree = build_tree(problem)
+        state = BranchState()
+        placed = []
+        solution = DOTSolution()
+        for clique in tree.cliques:
+            fitting = [
+                v
+                for v in clique.vertices
+                if state.memory_gb + state.incremental_memory(v)
+                <= problem.budgets.memory_gb + 1e-12
+            ]
+            if not fitting:
+                task = clique.task
+                solution.assignments[task.task_id] = Assignment(
+                    task=task, path=None, admission_ratio=0.0, radio_blocks=0
+                )
+                continue
+            vertex = fitting[rng.integers(len(fitting))]
+            state = state.extend(vertex)
+            placed.append(vertex)
+        items = [
+            BranchItem(task=v.task, path=v.path, bits_per_rb=v.bits_per_rb)
+            for v in placed
+        ]
+        allocation = solve_branch(items, problem.budgets, self.admission_floor)
+        for vertex, z, r in zip(placed, allocation.admission, allocation.radio_blocks):
+            solution.assignments[vertex.task.task_id] = Assignment(
+                task=vertex.task, path=vertex.path, admission_ratio=z, radio_blocks=r
+            )
+        solution.solve_time_s = time.perf_counter() - start
+        solution.solver_name = self.name
+        return solution

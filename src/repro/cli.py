@@ -1,0 +1,346 @@
+"""Command-line interface.
+
+Exposes the main entry points of the reproduction without writing any
+Python::
+
+    python -m repro solve-small --tasks 5 --optimal
+    python -m repro solve-large --rate high
+    python -m repro emulate --tasks 5 --duration 20
+    python -m repro profile --arch mobilenetv2
+    python -m repro reproduce fig9
+
+``reproduce`` regenerates one paper artifact (or ``headline``) and
+prints the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.report import format_series, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OffloaDNN (ICDCS 2024) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    small = sub.add_parser("solve-small", help="solve the Table IV small-scale scenario")
+    small.add_argument("--tasks", type=int, default=5, help="number of tasks (1..5)")
+    small.add_argument(
+        "--optimal", action="store_true", help="also solve with the exhaustive optimum"
+    )
+    small.add_argument("--seed", type=int, default=0)
+
+    large = sub.add_parser("solve-large", help="solve the Table IV large-scale scenario")
+    large.add_argument(
+        "--rate", choices=["low", "medium", "high"], default="medium",
+        help="task request load",
+    )
+    large.add_argument("--seed", type=int, default=0)
+
+    emulate = sub.add_parser("emulate", help="run the Fig. 11 emulation")
+    emulate.add_argument("--tasks", type=int, default=5)
+    emulate.add_argument("--duration", type=float, default=20.0, help="seconds")
+    emulate.add_argument("--seed", type=int, default=0)
+
+    profile = sub.add_parser("profile", help="profile a DNN substrate model")
+    profile.add_argument(
+        "--arch", choices=["resnet18", "mobilenetv2"], default="resnet18"
+    )
+    profile.add_argument("--input-size", type=int, default=32)
+    profile.add_argument("--classes", type=int, default=60)
+    profile.add_argument("--repeats", type=int, default=5)
+
+    reproduce = sub.add_parser("reproduce", help="regenerate a paper artifact")
+    reproduce.add_argument(
+        "artifact",
+        choices=["fig2", "fig3", "fig6", "fig7", "fig9", "fig10", "fig11", "headline"],
+    )
+
+    sweep = sub.add_parser("sweep", help="sensitivity sweep on the large scenario")
+    sweep.add_argument("--knob", choices=["radio", "memory", "rate"], default="radio")
+    sweep.add_argument(
+        "--values", type=str, default="",
+        help="comma-separated knob values (defaults per knob)",
+    )
+
+    export = sub.add_parser("export-problem", help="serialize a scenario to JSON")
+    export.add_argument("output", help="destination JSON file")
+    export.add_argument(
+        "--scenario", choices=["small", "large"], default="small"
+    )
+    export.add_argument("--tasks", type=int, default=5, help="small-scenario size")
+    export.add_argument(
+        "--rate", choices=["low", "medium", "high"], default="medium"
+    )
+
+    solve_file = sub.add_parser("solve-file", help="solve a serialized problem")
+    solve_file.add_argument("input", help="problem JSON file")
+    solve_file.add_argument(
+        "--solution-out", default=None, help="write the solution JSON here"
+    )
+    return parser
+
+
+def _cmd_solve_small(args: argparse.Namespace) -> int:
+    from repro.core.heuristic import OffloaDNNSolver
+    from repro.core.objective import objective_value
+    from repro.core.optimal import OptimalSolver
+    from repro.workloads.smallscale import small_scale_problem
+
+    problem = small_scale_problem(args.tasks, seed=args.seed)
+    solvers = [OffloaDNNSolver()]
+    if args.optimal:
+        solvers.append(OptimalSolver())
+    for solver in solvers:
+        solution = solver.solve(problem)
+        print(f"\n[{solution.solver_name}] solved in {solution.solve_time_s:.4f} s")
+        rows = []
+        for task in problem.tasks:
+            a = solution.assignment(task)
+            rows.append(
+                [
+                    task.task_id,
+                    a.path.path_id if a.path else "-",
+                    a.admission_ratio,
+                    a.radio_blocks,
+                ]
+            )
+        print(format_table(["task", "path", "z", "RBs"], rows, precision=2))
+        print(
+            f"objective {objective_value(problem, solution):.4f}  "
+            f"memory {solution.total_memory_gb:.2f} GB  "
+            f"RBs {solution.total_radio_blocks:.1f}"
+        )
+    return 0
+
+
+def _cmd_solve_large(args: argparse.Namespace) -> int:
+    from repro.baselines.semoran import SemORANSolver
+    from repro.core.heuristic import OffloaDNNSolver
+    from repro.workloads.largescale import RequestRate, large_scale_problem
+
+    rate = RequestRate[args.rate.upper()]
+    problem = large_scale_problem(rate, seed=args.seed)
+    for solver in (OffloaDNNSolver(), SemORANSolver()):
+        solution = solver.solve(problem)
+        ratios = [solution.assignment(t).admission_ratio for t in range(1, 21)]
+        print(f"\n[{solution.solver_name}] {rate.label} rate")
+        print(format_series("admission", ratios, precision=2))
+        print(
+            f"admitted {solution.admitted_task_count}/20  "
+            f"memory {solution.total_memory_gb:.2f}/{problem.budgets.memory_gb} GB  "
+            f"RBs {solution.total_radio_blocks:.1f}/{problem.budgets.radio_blocks}  "
+            f"inference {solution.total_inference_compute_s:.2f}/"
+            f"{problem.budgets.compute_time_s} s"
+        )
+    return 0
+
+
+def _cmd_emulate(args: argparse.Namespace) -> int:
+    from repro.emulator.scenario import run_small_scale_emulation
+
+    problem, result = run_small_scale_emulation(
+        num_tasks=args.tasks, duration_s=args.duration, seed=args.seed
+    )
+    rows = []
+    for task in problem.tasks:
+        mean = result.timeline.mean_latency(task.task_id)
+        peak = result.timeline.max_latency(task.task_id)
+        rows.append(
+            [task.task_id, mean * 1e3, peak * 1e3, task.max_latency_s * 1e3]
+        )
+    print(format_table(["task", "mean ms", "max ms", "limit ms"], rows, precision=1))
+    verdict = result.all_within_limits(problem)
+    print(f"all within latency targets: {verdict}")
+    return 0 if verdict else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.dnn.profiler import profile_model
+
+    if args.arch == "resnet18":
+        from repro.dnn.resnet import build_resnet18
+
+        model = build_resnet18(num_classes=args.classes, input_size=args.input_size)
+    else:
+        from repro.dnn.mobilenet import build_mobilenetv2
+
+        model = build_mobilenetv2(
+            num_classes=args.classes, input_size=args.input_size, width_multiplier=1.0
+        )
+    profile = profile_model(model, repeats=args.repeats)
+    rows = [
+        [b.name, b.compute_time_s * 1e3, b.params, b.flops / 1e6, b.memory_bytes / 1e6]
+        for b in profile.blocks
+    ]
+    print(f"{args.arch} @ {args.input_size}px, {args.classes} classes")
+    print(
+        format_table(
+            ["block", "time ms", "params", "MFLOPs", "mem MB"], rows, precision=2
+        )
+    )
+    print(
+        f"total: {profile.total_compute_time_s * 1e3:.2f} ms, "
+        f"{profile.total_params:,} params"
+    )
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.analysis import figures
+
+    artifact = args.artifact
+    if artifact == "fig2":
+        data = figures.fig2_training_curves(epochs=250)
+        for name, entry in data.items():
+            print(
+                f"{name}: epochs-to-80% {entry['epochs_to_80pct']}, "
+                f"final acc {entry['final_accuracy']:.3f}, "
+                f"peak memory {entry['peak_memory_mib']:.0f} MiB"
+            )
+    elif artifact == "fig3":
+        data = figures.fig3_pruning_effects()
+        rows = [
+            [name, d["inference_time_ms"], 100 * d["class_accuracy"]]
+            for name, d in sorted(data.items())
+        ]
+        print(format_table(["config", "time ms", "acc %"], rows, precision=2))
+    elif artifact == "fig6":
+        data = figures.fig6_runtime_comparison(max_tasks=4)
+        rows = list(zip(data["num_tasks"], data["offloadnn_s"], data["optimum_s"]))
+        print(format_table(["T", "OffloaDNN s", "Optimum s"], rows, precision=4))
+    elif artifact == "fig7":
+        data = figures.fig7_cost_and_memory(max_tasks=4)
+        rows = list(
+            zip(
+                data["num_tasks"],
+                data["offloadnn_cost"],
+                data["optimum_cost"],
+                data["offloadnn_memory"],
+            )
+        )
+        print(format_table(["T", "Off cost", "Opt cost", "Off mem"], rows))
+    elif artifact == "fig9":
+        data = figures.fig9_admission_ratios()
+        for rate, series in data.items():
+            print(f"[{rate}]")
+            print(format_series("  OffloaDNN", series["offloadnn"], precision=2))
+            print(format_series("  SEM-O-RAN", series["semoran"], precision=2))
+    elif artifact == "fig10":
+        data = figures.fig10_largescale_comparison()
+        for rate, metrics in data.items():
+            print(f"[{rate}] " + ", ".join(f"{k}={v:.3f}" for k, v in metrics.items()))
+    elif artifact == "fig11":
+        data = figures.fig11_emulation_latency()
+        for task_id, entry in sorted(data["series"].items()):
+            print(
+                f"task {task_id}: mean {float(entry['mean_latency_s']) * 1e3:.1f} ms "
+                f"(limit {entry['limit_s'] * 1e3:.0f} ms)"
+            )
+        print(f"within limits: {data['within_limits']}")
+    else:  # headline
+        data = figures.headline_comparison()
+        for metric, value in data.items():
+            print(f"{metric}: {value:+.1f}%")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis import sweep as sweep_module
+
+    defaults = {
+        "radio": [20, 40, 60, 80, 100, 140],
+        "memory": [0.5, 1.0, 2.0, 4.0, 8.0, 16.0],
+        "rate": [2.0, 4.0, 6.0, 8.0, 10.0, 12.0],
+    }
+    if args.values:
+        values = [float(v) for v in args.values.split(",")]
+    else:
+        values = defaults[args.knob]
+    if args.knob == "radio":
+        points = sweep_module.sweep_radio_budget([int(v) for v in values])
+    elif args.knob == "memory":
+        points = sweep_module.sweep_memory_budget(values)
+    else:
+        points = sweep_module.sweep_request_rate(values)
+    rows = [
+        [p.value, p.weighted_admission, p.admitted_tasks, p.memory_gb, p.radio_blocks]
+        for p in points
+    ]
+    print(
+        format_table(
+            [args.knob, "w. admission", "admitted", "memory GB", "RBs"], rows,
+            precision=2,
+        )
+    )
+    return 0
+
+
+def _cmd_export_problem(args: argparse.Namespace) -> int:
+    from repro.core.serialize import dump_problem
+
+    if args.scenario == "small":
+        from repro.workloads.smallscale import small_scale_problem
+
+        problem = small_scale_problem(args.tasks)
+    else:
+        from repro.workloads.largescale import RequestRate, large_scale_problem
+
+        problem = large_scale_problem(RequestRate[args.rate.upper()])
+    dump_problem(problem, args.output)
+    print(f"wrote {len(problem.tasks)}-task problem to {args.output}")
+    return 0
+
+
+def _cmd_solve_file(args: argparse.Namespace) -> int:
+    from repro.core.heuristic import OffloaDNNSolver
+    from repro.core.objective import objective_value
+    from repro.core.serialize import dump_solution, load_problem
+
+    problem = load_problem(args.input)
+    solution = OffloaDNNSolver().solve(problem)
+    rows = [
+        [
+            t.task_id,
+            solution.assignment(t).path.path_id if solution.assignment(t).path else "-",
+            solution.assignment(t).admission_ratio,
+            solution.assignment(t).radio_blocks,
+        ]
+        for t in problem.tasks
+    ]
+    print(format_table(["task", "path", "z", "RBs"], rows, precision=2))
+    print(f"objective: {objective_value(problem, solution):.4f}")
+    if args.solution_out:
+        dump_solution(solution, args.solution_out)
+        print(f"wrote solution to {args.solution_out}")
+    return 0
+
+
+_COMMANDS = {
+    "solve-small": _cmd_solve_small,
+    "solve-large": _cmd_solve_large,
+    "emulate": _cmd_emulate,
+    "profile": _cmd_profile,
+    "reproduce": _cmd_reproduce,
+    "sweep": _cmd_sweep,
+    "export-problem": _cmd_export_problem,
+    "solve-file": _cmd_solve_file,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""The paper's primary contribution: the DOT problem and OffloaDNN solver.
+
+* :mod:`repro.core.task` -- inference tasks and quality levels
+* :mod:`repro.core.catalog` -- DNN blocks, paths and the repository catalog
+* :mod:`repro.core.problem` -- DOT problem instance (budgets, radio, alpha)
+* :mod:`repro.core.solution` -- solutions and per-task assignments
+* :mod:`repro.core.objective` -- Eq. (1a) objective and (1b)-(1i) checks
+* :mod:`repro.core.subproblem` -- per-branch convex (z, r) optimization
+* :mod:`repro.core.tree` -- the weighted-tree model of the solution space
+* :mod:`repro.core.heuristic` -- the OffloaDNN first-branch heuristic
+* :mod:`repro.core.optimal` -- exhaustive branch enumeration (the optimum)
+* :mod:`repro.core.nphard` -- knapsack reduction behind Proposition 1
+"""
+
+from repro.core.task import Task, QualityLevel
+from repro.core.catalog import Block, Path, Catalog
+from repro.core.problem import Budgets, DOTProblem
+from repro.core.solution import Assignment, DOTSolution
+from repro.core.objective import objective_value, check_constraints
+from repro.core.heuristic import OffloaDNNSolver
+from repro.core.optimal import OptimalSolver
+from repro.core.incremental import discount_problem
+from repro.core.serialize import dump_problem, dump_solution, load_problem, load_solution
+
+__all__ = [
+    "Task",
+    "QualityLevel",
+    "Block",
+    "Path",
+    "Catalog",
+    "Budgets",
+    "DOTProblem",
+    "Assignment",
+    "DOTSolution",
+    "objective_value",
+    "check_constraints",
+    "OffloaDNNSolver",
+    "OptimalSolver",
+    "discount_problem",
+    "dump_problem",
+    "dump_solution",
+    "load_problem",
+    "load_solution",
+]

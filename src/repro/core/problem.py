@@ -1,0 +1,88 @@
+"""DOT problem instances (Sec. III-B).
+
+Bundles the tasks, the DNN catalog, the edge resource budgets, the radio
+model and the objective weight ``α`` into one immutable description that
+solvers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.catalog import Catalog
+from repro.core.task import Task
+
+__all__ = ["Budgets", "RadioModel", "DOTProblem"]
+
+
+@dataclass(frozen=True)
+class Budgets:
+    """Edge and radio capacity limits."""
+
+    #: available inference compute time ``C`` (device-seconds per second)
+    compute_time_s: float
+    #: full-DNN training cost normalizer ``Ct`` (device-seconds)
+    training_budget_s: float
+    #: available memory ``M`` in GB (RAM/VRAM)
+    memory_gb: float
+    #: available radio resource blocks ``R``
+    radio_blocks: int
+
+    def __post_init__(self) -> None:
+        if self.compute_time_s <= 0:
+            raise ValueError("compute budget must be positive")
+        if self.training_budget_s <= 0:
+            raise ValueError("training budget must be positive")
+        if self.memory_gb <= 0:
+            raise ValueError("memory budget must be positive")
+        if self.radio_blocks <= 0:
+            raise ValueError("radio budget must be positive")
+
+
+@dataclass(frozen=True)
+class RadioModel:
+    """Maps a task's channel state to the RB capacity ``B(σ_τ)``.
+
+    The default reproduces Table IV: every RB carries 0.35 Mbps
+    regardless of SINR.  :mod:`repro.radio.phy` provides an SINR-driven
+    alternative built on a CQI/MCS table.
+    """
+
+    default_bits_per_rb: float = 350_000.0
+    per_task_bits_per_rb: dict[int, float] = field(default_factory=dict)
+
+    def bits_per_rb(self, task: Task) -> float:
+        """``B(σ_τ)`` in bits/s carried by one RB for this task."""
+        return self.per_task_bits_per_rb.get(task.task_id, self.default_bits_per_rb)
+
+
+@dataclass(frozen=True)
+class DOTProblem:
+    """One instance of the DNNs-for-scalable-Offloading-of-Tasks problem."""
+
+    tasks: tuple[Task, ...]
+    catalog: Catalog
+    budgets: Budgets
+    radio: RadioModel = field(default_factory=RadioModel)
+    #: objective weight between task rejection and resource consumption
+    alpha: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("a problem needs at least one task")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        ids = [t.task_id for t in self.tasks]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate task ids")
+        self.catalog.validate(self.tasks)
+
+    def tasks_by_priority(self) -> tuple[Task, ...]:
+        """Tasks in descending priority order (ties by id for determinism)."""
+        return tuple(sorted(self.tasks, key=lambda t: (-t.priority, t.task_id)))
+
+    def task(self, task_id: int) -> Task:
+        for task in self.tasks:
+            if task.task_id == task_id:
+                return task
+        raise KeyError(task_id)

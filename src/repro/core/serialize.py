@@ -1,0 +1,285 @@
+"""JSON (de)serialization of DOT problems and solutions.
+
+Lets experiments be persisted, diffed and replayed: a problem instance
+(tasks, catalog, budgets, radio model) and a solver's solution both
+round-trip through plain JSON-compatible dictionaries.
+
+The format is versioned; loaders reject unknown versions rather than
+guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.catalog import Block, Catalog, Path
+from repro.core.problem import Budgets, DOTProblem, RadioModel
+from repro.core.solution import Assignment, DOTSolution
+from repro.core.task import QualityLevel, Task
+
+__all__ = [
+    "FORMAT_VERSION",
+    "problem_to_dict",
+    "problem_from_dict",
+    "solution_to_dict",
+    "solution_from_dict",
+    "dump_problem",
+    "load_problem",
+    "dump_solution",
+    "load_solution",
+]
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# element codecs
+# ---------------------------------------------------------------------------
+
+
+def _quality_to_dict(quality: QualityLevel) -> dict[str, Any]:
+    return {
+        "name": quality.name,
+        "bits_per_image": quality.bits_per_image,
+        "accuracy_factor": quality.accuracy_factor,
+    }
+
+
+def _quality_from_dict(data: dict[str, Any]) -> QualityLevel:
+    return QualityLevel(
+        name=data["name"],
+        bits_per_image=data["bits_per_image"],
+        accuracy_factor=data["accuracy_factor"],
+    )
+
+
+def _task_to_dict(task: Task) -> dict[str, Any]:
+    return {
+        "task_id": task.task_id,
+        "name": task.name,
+        "method": task.method,
+        "priority": task.priority,
+        "request_rate": task.request_rate,
+        "min_accuracy": task.min_accuracy,
+        "max_latency_s": task.max_latency_s,
+        "sinr_db": task.sinr_db,
+        "qualities": [_quality_to_dict(q) for q in task.qualities],
+    }
+
+
+def _task_from_dict(data: dict[str, Any]) -> Task:
+    return Task(
+        task_id=data["task_id"],
+        name=data["name"],
+        method=data["method"],
+        priority=data["priority"],
+        request_rate=data["request_rate"],
+        min_accuracy=data["min_accuracy"],
+        max_latency_s=data["max_latency_s"],
+        sinr_db=data.get("sinr_db", 20.0),
+        qualities=tuple(_quality_from_dict(q) for q in data["qualities"]),
+    )
+
+
+def _block_to_dict(block: Block) -> dict[str, Any]:
+    return {
+        "block_id": block.block_id,
+        "dnn_id": block.dnn_id,
+        "compute_time_s": block.compute_time_s,
+        "memory_gb": block.memory_gb,
+        "training_cost_s": block.training_cost_s,
+    }
+
+
+def _block_from_dict(data: dict[str, Any]) -> Block:
+    return Block(
+        block_id=data["block_id"],
+        dnn_id=data["dnn_id"],
+        compute_time_s=data["compute_time_s"],
+        memory_gb=data["memory_gb"],
+        training_cost_s=data["training_cost_s"],
+    )
+
+
+def _path_to_dict(path: Path) -> dict[str, Any]:
+    return {
+        "path_id": path.path_id,
+        "dnn_id": path.dnn_id,
+        "task_id": path.task_id,
+        "accuracy": path.accuracy,
+        "quality": _quality_to_dict(path.quality),
+        "block_ids": [b.block_id for b in path.blocks],
+    }
+
+
+def _path_from_dict(data: dict[str, Any], blocks: dict[str, Block]) -> Path:
+    return Path(
+        path_id=data["path_id"],
+        dnn_id=data["dnn_id"],
+        task_id=data["task_id"],
+        accuracy=data["accuracy"],
+        quality=_quality_from_dict(data["quality"]),
+        blocks=tuple(blocks[bid] for bid in data["block_ids"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# problem
+# ---------------------------------------------------------------------------
+
+
+def problem_to_dict(problem: DOTProblem) -> dict[str, Any]:
+    """Encode a problem as a JSON-compatible dictionary."""
+    blocks = problem.catalog.all_blocks()
+    return {
+        "version": FORMAT_VERSION,
+        "alpha": problem.alpha,
+        "budgets": {
+            "compute_time_s": problem.budgets.compute_time_s,
+            "training_budget_s": problem.budgets.training_budget_s,
+            "memory_gb": problem.budgets.memory_gb,
+            "radio_blocks": problem.budgets.radio_blocks,
+        },
+        "radio": {
+            "default_bits_per_rb": problem.radio.default_bits_per_rb,
+            "per_task_bits_per_rb": {
+                str(k): v for k, v in problem.radio.per_task_bits_per_rb.items()
+            },
+        },
+        "tasks": [_task_to_dict(t) for t in problem.tasks],
+        "blocks": [_block_to_dict(b) for b in blocks.values()],
+        "paths": [
+            _path_to_dict(p)
+            for paths in problem.catalog.paths_by_task.values()
+            for p in paths
+        ],
+    }
+
+
+def _check_version(data: dict[str, Any]) -> None:
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported serialization version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+
+
+def problem_from_dict(data: dict[str, Any]) -> DOTProblem:
+    """Decode a problem previously encoded by :func:`problem_to_dict`."""
+    _check_version(data)
+    blocks = {b["block_id"]: _block_from_dict(b) for b in data["blocks"]}
+    catalog = Catalog()
+    for path_data in data["paths"]:
+        catalog.add_path(_path_from_dict(path_data, blocks))
+    return DOTProblem(
+        tasks=tuple(_task_from_dict(t) for t in data["tasks"]),
+        catalog=catalog,
+        budgets=Budgets(
+            compute_time_s=data["budgets"]["compute_time_s"],
+            training_budget_s=data["budgets"]["training_budget_s"],
+            memory_gb=data["budgets"]["memory_gb"],
+            radio_blocks=data["budgets"]["radio_blocks"],
+        ),
+        radio=RadioModel(
+            default_bits_per_rb=data["radio"]["default_bits_per_rb"],
+            per_task_bits_per_rb={
+                int(k): v for k, v in data["radio"]["per_task_bits_per_rb"].items()
+            },
+        ),
+        alpha=data["alpha"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# solution
+# ---------------------------------------------------------------------------
+
+
+def solution_to_dict(solution: DOTSolution) -> dict[str, Any]:
+    """Encode a solution; paths are referenced by id within the problem."""
+    assignments = []
+    for task_id, assignment in sorted(solution.assignments.items()):
+        assignments.append(
+            {
+                "task_id": task_id,
+                "path_id": assignment.path.path_id if assignment.path else None,
+                "quality": (
+                    _quality_to_dict(assignment.path.quality) if assignment.path else None
+                ),
+                "admission_ratio": assignment.admission_ratio,
+                "radio_blocks": assignment.radio_blocks,
+            }
+        )
+    return {
+        "version": FORMAT_VERSION,
+        "solver_name": solution.solver_name,
+        "solve_time_s": solution.solve_time_s,
+        "assignments": assignments,
+    }
+
+
+def solution_from_dict(data: dict[str, Any], problem: DOTProblem) -> DOTSolution:
+    """Decode a solution against its problem (for path resolution).
+
+    Quality-expanded paths (``<path_id>@<quality>``) are reconstructed
+    from the base path plus the recorded quality level.
+    """
+    from dataclasses import replace
+
+    _check_version(data)
+    paths_by_id: dict[str, Path] = {
+        p.path_id: p
+        for paths in problem.catalog.paths_by_task.values()
+        for p in paths
+    }
+    solution = DOTSolution(
+        solver_name=data.get("solver_name", ""),
+        solve_time_s=data.get("solve_time_s", 0.0),
+    )
+    for entry in data["assignments"]:
+        task = problem.task(entry["task_id"])
+        path_id = entry["path_id"]
+        path: Path | None = None
+        if path_id is not None:
+            base_id = path_id.split("@")[0]
+            if base_id not in paths_by_id:
+                raise KeyError(f"solution references unknown path {path_id!r}")
+            path = paths_by_id[base_id]
+            if entry["quality"] is not None:
+                quality = _quality_from_dict(entry["quality"])
+                if quality != path.quality:
+                    path = replace(path, path_id=path_id, quality=quality)
+        solution.assignments[task.task_id] = Assignment(
+            task=task,
+            path=path,
+            admission_ratio=entry["admission_ratio"],
+            radio_blocks=entry["radio_blocks"],
+        )
+    return solution
+
+
+# ---------------------------------------------------------------------------
+# file helpers
+# ---------------------------------------------------------------------------
+
+
+def dump_problem(problem: DOTProblem, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(problem_to_dict(problem), handle, indent=2)
+
+
+def load_problem(path: str) -> DOTProblem:
+    with open(path) as handle:
+        return problem_from_dict(json.load(handle))
+
+
+def dump_solution(solution: DOTSolution, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(solution_to_dict(solution), handle, indent=2)
+
+
+def load_solution(path: str, problem: DOTProblem) -> DOTSolution:
+    with open(path) as handle:
+        return solution_from_dict(json.load(handle), problem)

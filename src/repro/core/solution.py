@@ -1,0 +1,117 @@
+"""Solutions of the DOT problem.
+
+A solution assigns each task a path (``x``/``y`` in the formulation), an
+admission ratio ``z ∈ [0, 1]`` and a radio allocation ``r`` (RBs).  A
+rejected task has ``z = 0``; its path, if any, deploys no blocks
+(``m(s)`` auxiliary variables are derived from the admitted set only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.catalog import Block, Path
+from repro.core.task import Task
+
+__all__ = ["Assignment", "DOTSolution"]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """Decision for one task."""
+
+    task: Task
+    #: selected DNN path, or None when the task was never placed
+    path: Path | None
+    #: admission ratio ``z_τ``
+    admission_ratio: float
+    #: number of radio resource blocks ``r_τ``
+    radio_blocks: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.admission_ratio <= 1.0:
+            raise ValueError("admission ratio must be in [0, 1]")
+        if self.radio_blocks < 0:
+            raise ValueError("radio_blocks must be >= 0")
+        if self.admitted and self.path is None:
+            raise ValueError("an admitted task needs a path")
+
+    @property
+    def admitted(self) -> bool:
+        return self.admission_ratio > 0.0
+
+    @property
+    def admitted_rate(self) -> float:
+        """``z_τ * λ_τ`` requests per second actually served."""
+        return self.admission_ratio * self.task.request_rate
+
+
+@dataclass
+class DOTSolution:
+    """A complete solution: one assignment per task."""
+
+    assignments: dict[int, Assignment] = field(default_factory=dict)
+    #: wall-clock seconds the solver took (Fig. 6 input)
+    solve_time_s: float = 0.0
+    solver_name: str = ""
+
+    def assignment(self, task: Task | int) -> Assignment:
+        task_id = task.task_id if isinstance(task, Task) else task
+        return self.assignments[task_id]
+
+    def admitted_assignments(self) -> list[Assignment]:
+        return [a for a in self.assignments.values() if a.admitted]
+
+    def active_blocks(self) -> dict[str, Block]:
+        """Blocks used by at least one admitted task (``m(s) = 1``)."""
+        blocks: dict[str, Block] = {}
+        for assignment in self.admitted_assignments():
+            assert assignment.path is not None
+            for block in assignment.path.blocks:
+                blocks.setdefault(block.block_id, block)
+        return blocks
+
+    # ------------------------------------------------------------------
+    # Aggregate metrics (consumed by the evaluation figures)
+    # ------------------------------------------------------------------
+
+    @property
+    def total_memory_gb(self) -> float:
+        """Memory of active blocks, shared blocks counted once (1b LHS)."""
+        return sum(b.memory_gb for b in self.active_blocks().values())
+
+    @property
+    def total_training_cost_s(self) -> float:
+        """Training cost of active blocks, paid once per block."""
+        return sum(b.training_cost_s for b in self.active_blocks().values())
+
+    @property
+    def total_inference_compute_s(self) -> float:
+        """``Σ_τ z_τ λ_τ Σ_{s∈π_τ} c(s)`` (1c LHS)."""
+        total = 0.0
+        for assignment in self.admitted_assignments():
+            assert assignment.path is not None
+            total += assignment.admitted_rate * assignment.path.compute_time_s
+        return total
+
+    @property
+    def total_radio_blocks(self) -> float:
+        """``Σ_τ z_τ r_τ`` (1d LHS)."""
+        return sum(
+            a.admission_ratio * a.radio_blocks for a in self.assignments.values()
+        )
+
+    @property
+    def weighted_admission_ratio(self) -> float:
+        """``Σ_τ z_τ p_τ`` — the Fig. 8/10 left-panel metric."""
+        return sum(
+            a.admission_ratio * a.task.priority for a in self.assignments.values()
+        )
+
+    @property
+    def admitted_task_count(self) -> int:
+        return len(self.admitted_assignments())
+
+    def admission_vector(self) -> dict[int, float]:
+        """Task id -> admission ratio (the Fig. 9 series)."""
+        return {tid: a.admission_ratio for tid, a in self.assignments.items()}

@@ -1,0 +1,196 @@
+"""The weighted-tree model of the DOT solution space (Sec. IV-A).
+
+The tree has one layer per task, in descending priority order.  Each
+layer is a *clique* of vertices, one per feasible DNN path for that
+task, arranged left-to-right by increasing inference compute time.  A
+branch (root to leaf) picks one vertex per layer and therefore one path
+per task; the memory and training-cost attributes of a branch update
+dynamically while traversing, because blocks already deployed by
+higher-priority tasks are free for lower-priority ones.
+
+Feasibility filtering during construction removes vertices that violate
+the accuracy constraint (1f) or whose inference compute time alone
+already exceeds the latency limit (1g) — plus vertices whose minimum RB
+demand can never fit the radio capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.catalog import Path
+from repro.core.problem import DOTProblem
+from repro.core.subproblem import minimum_latency_rbs
+from repro.core.task import Task
+
+__all__ = ["Vertex", "Clique", "BranchState", "SolutionTree", "build_tree"]
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """One feasible (task, path) decision — a tree vertex ``v_j = π^j_τ``.
+
+    Static attributes (accuracy, compute time, bits to transmit) live on
+    the path; the dynamic attributes (cumulative memory, training cost)
+    belong to :class:`BranchState` since they depend on the traversal.
+    """
+
+    task: Task
+    path: Path
+    bits_per_rb: float
+
+    @property
+    def compute_time_s(self) -> float:
+        return self.path.compute_time_s
+
+    @property
+    def accuracy(self) -> float:
+        return self.path.effective_accuracy
+
+    def min_latency_rbs(self) -> int:
+        return minimum_latency_rbs(
+            self.path.bits_per_image,
+            self.bits_per_rb,
+            self.task.max_latency_s,
+            self.path.compute_time_s,
+        )
+
+    def sort_key(self) -> tuple[float, float, float, str]:
+        """Clique ordering: increasing inference compute time.
+
+        Ties break toward smaller memory, then fewer bits per image
+        (cheaper radio), then path id for determinism.
+        """
+        memory = sum(b.memory_gb for b in self.path.blocks)
+        return (
+            self.path.compute_time_s,
+            memory,
+            self.path.bits_per_image,
+            self.path.path_id,
+        )
+
+
+@dataclass
+class Clique:
+    """All feasible vertices of one layer, compute-time sorted."""
+
+    task: Task
+    vertices: list[Vertex]
+
+    def __post_init__(self) -> None:
+        self.vertices.sort(key=Vertex.sort_key)
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+
+@dataclass(frozen=True)
+class BranchState:
+    """Dynamic attributes accumulated along a branch.
+
+    Immutable: :meth:`extend` returns a new state, which keeps the DFS
+    of the optimal solver trivially correct.
+    """
+
+    used_block_ids: frozenset[str] = frozenset()
+    memory_gb: float = 0.0
+    training_cost_s: float = 0.0
+
+    def extend(self, vertex: Vertex) -> "BranchState":
+        """State after deploying ``vertex``'s blocks (new blocks only)."""
+        new_memory = self.memory_gb
+        new_training = self.training_cost_s
+        new_ids = set(self.used_block_ids)
+        for block in vertex.path.blocks:
+            if block.block_id not in new_ids:
+                new_ids.add(block.block_id)
+                new_memory += block.memory_gb
+                new_training += block.training_cost_s
+        return BranchState(
+            used_block_ids=frozenset(new_ids),
+            memory_gb=new_memory,
+            training_cost_s=new_training,
+        )
+
+    def incremental_memory(self, vertex: Vertex) -> float:
+        """Memory added by ``vertex`` beyond already-deployed blocks."""
+        return sum(
+            b.memory_gb
+            for b in vertex.path.blocks
+            if b.block_id not in self.used_block_ids
+        )
+
+
+@dataclass
+class SolutionTree:
+    """Cliques in priority order, plus construction statistics."""
+
+    problem: DOTProblem
+    cliques: list[Clique]
+    #: vertices removed by the (1f)/(1g) feasibility filter, per task id
+    filtered_out: dict[int, int] = field(default_factory=dict)
+
+    def num_branches(self) -> int:
+        """Branches in the complete tree (product of clique sizes)."""
+        total = 1
+        for clique in self.cliques:
+            total *= max(len(clique), 1)
+        return total
+
+    def tasks_without_options(self) -> list[Task]:
+        return [c.task for c in self.cliques if not c.vertices]
+
+
+def _vertex_feasible(vertex: Vertex, problem: DOTProblem) -> bool:
+    task = vertex.task
+    # (1f): accuracy requirement
+    if vertex.accuracy < task.min_accuracy - 1e-12:
+        return False
+    # (1g), compute part: processing alone must leave room for transmission
+    if vertex.compute_time_s >= task.max_latency_s:
+        return False
+    # the latency-driven RB demand must fit the radio capacity at all
+    if vertex.min_latency_rbs() > problem.budgets.radio_blocks:
+        return False
+    return True
+
+
+def _expand_qualities(path: Path, task: Task) -> list[Path]:
+    """One path variant per quality level ``q ∈ Q_τ``.
+
+    The quality sets ``β(q)`` and scales the attainable accuracy —
+    picking a lower quality is the semantic-compression lever of the
+    formulation.  Tasks with a single quality keep the path verbatim.
+    """
+    from dataclasses import replace
+
+    variants: list[Path] = []
+    for quality in task.qualities:
+        if quality == path.quality:
+            variants.append(path)
+        else:
+            variants.append(
+                replace(
+                    path,
+                    path_id=f"{path.path_id}@{quality.name}",
+                    quality=quality,
+                )
+            )
+    return variants
+
+
+def build_tree(problem: DOTProblem) -> SolutionTree:
+    """Construct the feasibility-filtered, compute-time-sorted tree."""
+    cliques: list[Clique] = []
+    filtered: dict[int, int] = {}
+    for task in problem.tasks_by_priority():
+        bits_per_rb = problem.radio.bits_per_rb(task)
+        vertices = [
+            Vertex(task=task, path=variant, bits_per_rb=bits_per_rb)
+            for path in problem.catalog.paths_for(task)
+            for variant in _expand_qualities(path, task)
+        ]
+        feasible = [v for v in vertices if _vertex_feasible(v, problem)]
+        filtered[task.task_id] = len(vertices) - len(feasible)
+        cliques.append(Clique(task=task, vertices=feasible))
+    return SolutionTree(problem=problem, cliques=cliques, filtered_out=filtered)

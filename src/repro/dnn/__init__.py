@@ -1,0 +1,49 @@
+"""Numpy-based DNN substrate.
+
+The paper profiles ResNet-18 with PyTorch on a GPU to obtain per-block
+inference compute time ``c(s)``, memory footprint ``mu(s)`` and training
+cost ``ct(s)``.  This package provides an equivalent substrate built from
+scratch on numpy:
+
+* :mod:`repro.dnn.ops` -- raw tensor operations (conv2d, depthwise, ...)
+* :mod:`repro.dnn.layers` -- parameterized layer objects
+* :mod:`repro.dnn.graph` -- sequential / residual module composition
+* :mod:`repro.dnn.resnet` -- ResNet-18 as a stem + 4 layer-blocks + head
+* :mod:`repro.dnn.mobilenet` -- MobileNetV2 on the same block partition
+* :mod:`repro.dnn.pruning` -- DepGraph-style structured channel pruning
+* :mod:`repro.dnn.profiler` -- wall clock / FLOPs / memory measurement
+* :mod:`repro.dnn.autograd` -- exact reverse-mode differentiation
+* :mod:`repro.dnn.finetune` -- real gradient fine-tuning of config suffixes
+* :mod:`repro.dnn.training` -- fine-tuning surrogate for CONFIG A..E
+* :mod:`repro.dnn.detection` -- detection head, NMS, mAP (the paper's
+  "obj. detection" method with 0.5 mAP requirements)
+* :mod:`repro.dnn.detection_train` -- detection-head training
+* :mod:`repro.dnn.datasets` -- the Table II base dataset (synthetic)
+* :mod:`repro.dnn.configs` -- the Table I block configurations
+* :mod:`repro.dnn.repository` -- profiled block/path repository for DOT
+* :mod:`repro.dnn.weights` -- weight persistence and block transplanting
+"""
+
+from repro.dnn.configs import BlockConfig, TABLE_I_CONFIGS
+from repro.dnn.finetune import FineTuner
+from repro.dnn.mobilenet import build_mobilenetv2
+from repro.dnn.profiler import BlockProfile, ModelProfile, profile_model
+from repro.dnn.pruning import prune_module
+from repro.dnn.resnet import BlockwiseModel, ResNet18, build_resnet18
+from repro.dnn.weights import load_weights, save_weights
+
+__all__ = [
+    "build_resnet18",
+    "build_mobilenetv2",
+    "BlockwiseModel",
+    "ResNet18",
+    "BlockProfile",
+    "ModelProfile",
+    "profile_model",
+    "BlockConfig",
+    "TABLE_I_CONFIGS",
+    "prune_module",
+    "FineTuner",
+    "save_weights",
+    "load_weights",
+]

@@ -1,0 +1,134 @@
+"""Table I — DNN block configurations for the ResNet feature extractor.
+
+Each configuration splits the ResNet-18 layer-blocks into *shared*
+blocks, inherited frozen from the base DNN (pre-trained on the Table II
+base dataset), and *fine-tuned* blocks trained for the new task.  The
+pruned variants additionally apply 80% structured pruning to the
+fine-tuned layer-blocks only.
+
+The paper counts four "layer-blocks" (the residual stages ``layer1`` ..
+``layer4``); the stem shares the fate of ``layer1`` and the classifier
+head is always task-specific.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["BlockConfig", "TABLE_I_CONFIGS", "get_config", "STAGE_NAMES"]
+
+STAGE_NAMES = ("layer1", "layer2", "layer3", "layer4")
+
+
+@dataclass(frozen=True)
+class BlockConfig:
+    """One row of Table I."""
+
+    name: str
+    description: str
+    #: residual stages inherited frozen from the base DNN
+    shared_stages: tuple[str, ...]
+    #: residual stages trained for the new task (head is always trained)
+    fine_tuned_stages: tuple[str, ...]
+    #: True when the whole network starts from random initialization
+    from_scratch: bool = False
+    #: structured-pruning ratio applied to fine-tuned stages (0 = none)
+    prune_ratio: float = 0.0
+
+    def __post_init__(self) -> None:
+        overlap = set(self.shared_stages) & set(self.fine_tuned_stages)
+        if overlap:
+            raise ValueError(f"stages both shared and fine-tuned: {sorted(overlap)}")
+        if set(self.shared_stages) | set(self.fine_tuned_stages) != set(STAGE_NAMES):
+            raise ValueError("configs must cover all four residual stages")
+        if not 0.0 <= self.prune_ratio < 1.0:
+            raise ValueError("prune_ratio must be in [0, 1)")
+
+    @property
+    def pruned(self) -> bool:
+        return self.prune_ratio > 0.0
+
+    @property
+    def trainable_blocks(self) -> tuple[str, ...]:
+        """Blocks whose parameters receive gradients (head included)."""
+        blocks = list(self.fine_tuned_stages) + ["head"]
+        if self.from_scratch or "layer1" in self.fine_tuned_stages:
+            blocks.insert(0, "stem")
+        return tuple(blocks)
+
+    @property
+    def prunable_blocks(self) -> tuple[str, ...]:
+        """Stages eligible for pruning: the fine-tuned stages only.
+
+        CONFIG A-pruned prunes every stage since the whole DNN is
+        task-specific.
+        """
+        if self.from_scratch:
+            return STAGE_NAMES
+        return self.fine_tuned_stages
+
+    def pruned_variant(self, ratio: float = 0.8) -> "BlockConfig":
+        """The Table I ``-pruned`` row derived from this configuration."""
+        if self.pruned:
+            raise ValueError(f"{self.name} is already pruned")
+        return replace(
+            self,
+            name=f"{self.name}-pruned",
+            description=(
+                f"{self.name} + fine-tuned layer-blocks pruned with ratio {ratio:.0%}"
+            ),
+            prune_ratio=ratio,
+        )
+
+
+def _base_configs() -> dict[str, BlockConfig]:
+    a = BlockConfig(
+        name="CONFIG A",
+        description="Entire DNN structure trained from scratch",
+        shared_stages=(),
+        fine_tuned_stages=STAGE_NAMES,
+        from_scratch=True,
+    )
+    b = BlockConfig(
+        name="CONFIG B",
+        description="First 4 layer-blocks shared from the base DNN",
+        shared_stages=STAGE_NAMES,
+        fine_tuned_stages=(),
+    )
+    c = BlockConfig(
+        name="CONFIG C",
+        description="First 3 layer-blocks shared. Last layer-block + classifier fine-tuned",
+        shared_stages=("layer1", "layer2", "layer3"),
+        fine_tuned_stages=("layer4",),
+    )
+    d = BlockConfig(
+        name="CONFIG D",
+        description="First 2 layer-blocks shared. Last 2 layer-blocks + classifier fine-tuned",
+        shared_stages=("layer1", "layer2"),
+        fine_tuned_stages=("layer3", "layer4"),
+    )
+    e = BlockConfig(
+        name="CONFIG E",
+        description="First 1 layer-blocks shared. Last 3 layer-blocks + classifier fine-tuned",
+        shared_stages=("layer1",),
+        fine_tuned_stages=("layer2", "layer3", "layer4"),
+    )
+    configs = {cfg.name: cfg for cfg in (a, b, c, d, e)}
+    for cfg in (a, b, c, d, e):
+        pruned = cfg.pruned_variant(0.8)
+        configs[pruned.name] = pruned
+    return configs
+
+
+#: All ten rows of Table I, keyed by name ("CONFIG A" .. "CONFIG E-pruned").
+TABLE_I_CONFIGS: dict[str, BlockConfig] = _base_configs()
+
+
+def get_config(name: str) -> BlockConfig:
+    """Look up a Table I configuration by name (e.g. ``"CONFIG C"``)."""
+    try:
+        return TABLE_I_CONFIGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown config {name!r}; available: {sorted(TABLE_I_CONFIGS)}"
+        ) from None

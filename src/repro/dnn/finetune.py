@@ -1,0 +1,124 @@
+"""Real gradient-based fine-tuning of Table I configurations.
+
+Uses the exact backward passes of :mod:`repro.dnn.autograd` to fine-tune
+the *trainable suffix* of a model (the fine-tuned layer-blocks plus the
+classifier, per the configuration) with Adam and cosine-annealed
+learning rate — the paper's recipe — while the shared prefix runs
+frozen in inference mode.  Intended for small models (CPU numpy); the
+long published runs are covered by the calibrated surrogate in
+:mod:`repro.dnn.training`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dnn import autograd
+from repro.dnn.configs import BlockConfig
+from repro.dnn.datasets import ImageDataset
+from repro.dnn.graph import Sequential
+from repro.dnn.resnet import BLOCK_NAMES, BlockwiseModel
+from repro.dnn.training import AdamState, cosine_annealing_lr
+
+__all__ = ["FineTuneRun", "FineTuner"]
+
+
+@dataclass
+class FineTuneRun:
+    """Per-epoch record of a real fine-tuning run."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    test_accuracy: list[float] = field(default_factory=list)
+
+
+class FineTuner:
+    """Train a configuration's trainable suffix with real gradients."""
+
+    def __init__(
+        self,
+        model: BlockwiseModel,
+        config: BlockConfig,
+        lr: float = 0.001,
+        weight_decay: float = 0.0,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        trainable = set(config.trainable_blocks)
+        names = list(BLOCK_NAMES)
+        first = next((i for i, n in enumerate(names) if n in trainable), len(names))
+        non_suffix = [n for n in names[first:] if n not in trainable]
+        if non_suffix:
+            raise ValueError(
+                f"trainable blocks must form a suffix; frozen blocks "
+                f"{non_suffix} follow the first trainable one"
+            )
+        self.model = model
+        self.config = config
+        self.frozen_names = names[:first]
+        self.trainable_names = names[first:]
+        self.suffix = Sequential(*[model.blocks[n] for n in self.trainable_names])
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.batch_size = batch_size
+        self._rng = np.random.default_rng(seed)
+        self._states = [AdamState.like(p) for p in self.suffix.parameters()]
+
+    # ------------------------------------------------------------------
+
+    def _frozen_forward(self, images: np.ndarray) -> np.ndarray:
+        x = images
+        for name in self.frozen_names:
+            x = self.model.blocks[name](x)
+        return x
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Class predictions using the (possibly fine-tuned) model."""
+        return self.model(images).argmax(axis=1)
+
+    def accuracy(self, dataset: ImageDataset) -> float:
+        return float((self.predict(dataset.images) == dataset.labels).mean())
+
+    def _step(self, features: np.ndarray, labels: np.ndarray, lr: float) -> float:
+        logits, cache = autograd.forward(self.suffix, features)
+        loss, grad_logits = autograd.softmax_cross_entropy_grad(logits, labels)
+        _, param_grads = autograd.backward(self.suffix, cache, grad_logits)
+        params = self.suffix.parameters()
+        if len(params) != len(param_grads):
+            raise RuntimeError(
+                f"gradient/parameter count mismatch: {len(param_grads)} vs {len(params)}"
+            )
+        for param, grad, state in zip(params, param_grads, self._states):
+            if grad is None:
+                continue  # batch-norm running statistics
+            updated = state.step(
+                param.astype(np.float64), grad, lr, weight_decay=self.weight_decay
+            )
+            param[...] = updated.astype(param.dtype)
+        return loss
+
+    def fit(
+        self,
+        train: ImageDataset,
+        test: ImageDataset | None = None,
+        epochs: int = 5,
+    ) -> FineTuneRun:
+        """Fine-tune for ``epochs`` epochs; records loss and accuracy."""
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        run = FineTuneRun()
+        for epoch in range(epochs):
+            lr = cosine_annealing_lr(self.lr, epoch, epochs)
+            order = self._rng.permutation(len(train.labels))
+            losses = []
+            for start in range(0, len(order), self.batch_size):
+                idx = order[start : start + self.batch_size]
+                features = self._frozen_forward(train.images[idx])
+                losses.append(self._step(features, train.labels[idx], lr))
+            run.train_loss.append(float(np.mean(losses)))
+            run.train_accuracy.append(self.accuracy(train))
+            if test is not None:
+                run.test_accuracy.append(self.accuracy(test))
+        return run

@@ -1,0 +1,151 @@
+"""MobileNetV2 built from the numpy engine.
+
+The paper's introduction motivates the accuracy/footprint trade-off with
+MobileNetV2 (6.9M parameters) against larger ResNets, and the reference
+model lists both as examples of DNNs implementing a CV method.  This
+module provides MobileNetV2 as a second architecture *family* for the
+DNN repository ``D``: inverted residual bottlenecks (1x1 expansion,
+3x3 depthwise, 1x1 linear projection, ReLU6 activations) grouped into
+the same shareable layer-blocks as the ResNet (stem, four stages, head)
+so that the profiler, training simulator and catalog builders apply
+unchanged.
+
+The canonical ImageNet configuration (width multiplier 1.0, 224 px,
+~3.4M backbone parameters) is scaled down by default so tests and
+benches run quickly on CPU, preserving the architecture arithmetic
+(expansion factor 6, stride placement, last 1x1 channel lift).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dnn.graph import NamedModule, Residual, Sequential
+from repro.dnn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    ReLU6,
+)
+from repro.dnn.resnet import BlockwiseModel
+
+__all__ = ["inverted_residual", "build_mobilenetv2", "MOBILENET_STAGES"]
+
+#: (expansion t, output channels c at width 1.0, repeats n, first stride s)
+#: per stage, following the MobileNetV2 bottleneck table, grouped into
+#: the four shareable layer-blocks.
+MOBILENET_STAGES: dict[str, tuple[tuple[int, int, int, int], ...]] = {
+    "layer1": ((1, 16, 1, 1), (6, 24, 2, 1)),
+    "layer2": ((6, 32, 3, 2),),
+    "layer3": ((6, 64, 4, 2), (6, 96, 3, 1)),
+    "layer4": ((6, 160, 3, 2), (6, 320, 1, 1)),
+}
+
+
+def inverted_residual(
+    in_channels: int,
+    out_channels: int,
+    stride: int,
+    expansion: int,
+    rng: np.random.Generator,
+) -> Residual | Sequential:
+    """A MobileNetV2 bottleneck block.
+
+    Expand with a 1x1 conv (skipped when ``expansion == 1``), filter with
+    a 3x3 depthwise conv, project linearly with a 1x1 conv.  A residual
+    shortcut (linear addition) applies only when the block preserves
+    shape; otherwise the body runs plain.
+    """
+    hidden = in_channels * expansion
+    layers = []
+    if expansion != 1:
+        layers += [
+            Conv2d(in_channels, hidden, kernel=1, rng=rng),
+            BatchNorm2d(hidden),
+            ReLU6(),
+        ]
+    layers += [
+        DepthwiseConv2d(hidden, kernel=3, stride=stride, padding=1, rng=rng),
+        BatchNorm2d(hidden),
+        ReLU6(),
+        Conv2d(hidden, out_channels, kernel=1, rng=rng),
+        BatchNorm2d(out_channels),
+    ]
+    body = Sequential(*layers)
+    if stride == 1 and in_channels == out_channels:
+        return Residual(body, activation="linear")
+    return body
+
+
+def _scaled(channels: int, width_multiplier: float) -> int:
+    return max(4, int(round(channels * width_multiplier)))
+
+
+def build_mobilenetv2(
+    num_classes: int = 60,
+    input_size: int = 32,
+    width_multiplier: float = 0.25,
+    seed: int = 0,
+) -> BlockwiseModel:
+    """Construct a MobileNetV2 grouped into the shareable layer-blocks.
+
+    Parameters
+    ----------
+    num_classes:
+        Classifier output size.
+    input_size:
+        Square input resolution (the stem stride adapts like the ResNet
+        builder: stride 2 for >= 64 px inputs, stride 1 otherwise).
+    width_multiplier:
+        MobileNet's channel scaling knob; 1.0 is the published model,
+        the 0.25 default keeps CPU profiling fast.
+    seed:
+        Seed for weight initialization.
+    """
+    if input_size < 8:
+        raise ValueError("input_size must be >= 8")
+    if width_multiplier <= 0:
+        raise ValueError("width_multiplier must be positive")
+    rng = np.random.default_rng(seed)
+    stem_channels = _scaled(32, width_multiplier)
+    stem_stride = 2 if input_size >= 64 else 1
+    stem = NamedModule(
+        "stem",
+        Conv2d(3, stem_channels, kernel=3, stride=stem_stride, padding=1, rng=rng),
+        BatchNorm2d(stem_channels),
+        ReLU6(),
+    )
+
+    blocks: dict[str, NamedModule] = {"stem": stem}
+    in_channels = stem_channels
+    for stage_name, settings in MOBILENET_STAGES.items():
+        stage_layers = []
+        for expansion, channels, repeats, first_stride in settings:
+            out_channels = _scaled(channels, width_multiplier)
+            for repeat in range(repeats):
+                stride = first_stride if repeat == 0 else 1
+                stage_layers.append(
+                    inverted_residual(in_channels, out_channels, stride, expansion, rng)
+                )
+                in_channels = out_channels
+        blocks[stage_name] = NamedModule(stage_name, *stage_layers)
+
+    last_channels = _scaled(1280, width_multiplier)
+    blocks["head"] = NamedModule(
+        "head",
+        Conv2d(in_channels, last_channels, kernel=1, rng=rng),
+        BatchNorm2d(last_channels),
+        ReLU6(),
+        GlobalAvgPool(),
+        Flatten(),
+        Linear(last_channels, num_classes, rng=rng),
+    )
+    return BlockwiseModel(
+        blocks=blocks,
+        input_shape=(3, input_size, input_size),
+        num_classes=num_classes,
+        width=stem_channels,
+    )

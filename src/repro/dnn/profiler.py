@@ -1,0 +1,123 @@
+"""Measurement of per-block inference cost — the DOT inputs.
+
+The paper derives ``c(s)`` (inference compute time) and ``mu(s)``
+(memory) for every DNN block "experimentally".  This module performs the
+same measurement on the numpy engine: each layer-block is timed on a
+dummy input tensor (the paper's "standard procedure to estimate DNN model
+inference compute time in a system", Fig. 3 caption), and its memory
+footprint is computed from the parameter tensors plus the peak
+intermediate activation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dnn.layers import BYTES_PER_PARAM
+from repro.dnn.resnet import BLOCK_NAMES, ResNet18
+
+__all__ = ["BlockProfile", "ModelProfile", "profile_model", "time_forward"]
+
+
+@dataclass(frozen=True)
+class BlockProfile:
+    """Measured cost of a single layer-block."""
+
+    name: str
+    #: median wall-clock seconds for one forward pass, batch size 1
+    compute_time_s: float
+    #: analytic FLOPs for one sample
+    flops: int
+    #: number of parameters
+    params: int
+    #: bytes held by parameters
+    param_bytes: int
+    #: bytes of the largest intermediate activation (batch size 1)
+    activation_bytes: int
+
+    @property
+    def memory_bytes(self) -> int:
+        """Serving memory: parameters + the peak activation buffer."""
+        return self.param_bytes + self.activation_bytes
+
+    @property
+    def memory_gb(self) -> float:
+        return self.memory_bytes / 1e9
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Per-block profiles for a full model, in execution order."""
+
+    blocks: tuple[BlockProfile, ...]
+    input_shape: tuple[int, int, int]
+
+    @property
+    def total_compute_time_s(self) -> float:
+        return sum(b.compute_time_s for b in self.blocks)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(b.flops for b in self.blocks)
+
+    @property
+    def total_params(self) -> int:
+        return sum(b.params for b in self.blocks)
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return sum(b.memory_bytes for b in self.blocks)
+
+    def block(self, name: str) -> BlockProfile:
+        for profile in self.blocks:
+            if profile.name == name:
+                return profile
+        raise KeyError(name)
+
+
+def time_forward(fn, x: np.ndarray, repeats: int = 5, warmup: int = 1) -> float:
+    """Median wall-clock seconds of ``fn(x)`` over ``repeats`` runs."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn(x)
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(x)
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def profile_model(
+    model: ResNet18, repeats: int = 5, warmup: int = 1
+) -> ModelProfile:
+    """Profile each layer-block of ``model`` on a dummy tensor.
+
+    Timing uses batch size 1 (per-inference cost, as consumed by the DOT
+    compute constraint which scales cost by the task request rate).
+    """
+    dummy = np.zeros((1, *model.input_shape), dtype=np.float32)
+    profiles: list[BlockProfile] = []
+    x = dummy
+    shape: tuple[int, ...] = model.input_shape
+    for name in BLOCK_NAMES:
+        block = model.blocks[name]
+        elapsed = time_forward(block.forward, x, repeats=repeats, warmup=warmup)
+        params = block.param_count()
+        profiles.append(
+            BlockProfile(
+                name=name,
+                compute_time_s=elapsed,
+                flops=block.flops(shape),
+                params=params,
+                param_bytes=params * BYTES_PER_PARAM,
+                activation_bytes=block.activation_size(shape) * BYTES_PER_PARAM,
+            )
+        )
+        x = block(x)
+        shape = block.output_shape(shape)
+    return ModelProfile(blocks=tuple(profiles), input_shape=model.input_shape)

@@ -1,0 +1,241 @@
+"""From profiled ResNet configurations to DOT blocks and paths.
+
+The paper characterizes each DNN block experimentally and feeds the
+measured costs to the DOT problem.  This module performs that step: it
+builds a ResNet-18 per Table I configuration (applying 80% structured
+pruning to the fine-tuned blocks of ``-pruned`` variants), profiles it,
+evaluates the converged fine-tuning accuracy with the training
+simulator, and packages the result as the 4-block paths the evaluation
+scenarios use ("each DNN path is composed of four blocks", Sec. V-A).
+
+Sharing semantics: shared (frozen, pretrained) stages map to *global*
+block ids (``base:<group>``) with zero training cost; fine-tuned stages
+map to per-task ids (``task<t>:<config>:<group>``).  Paths from
+different tasks therefore share exactly the blocks the configuration
+freezes — the coupling OffloaDNN exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.catalog import Block, Path
+from repro.core.task import QualityLevel, Task
+from repro.dnn.configs import BlockConfig, TABLE_I_CONFIGS
+from repro.dnn.profiler import ModelProfile, profile_model
+from repro.dnn.pruning import prune_resnet
+from repro.dnn.resnet import ResNet18, build_resnet18
+from repro.dnn.training import (
+    LearningCurveModel,
+    pruned_accuracy_drop,
+    training_cost_seconds,
+)
+
+__all__ = [
+    "BLOCK_GROUPS",
+    "GroupCost",
+    "ProfiledConfig",
+    "profile_table_i",
+    "build_task_paths",
+]
+
+#: The 4-block partition of the ResNet layer-blocks used by the paper's
+#: scenarios: stem travels with layer1, the classifier with layer4.
+BLOCK_GROUPS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("g1", ("stem", "layer1")),
+    ("g2", ("layer2",)),
+    ("g3", ("layer3",)),
+    ("g4", ("layer4", "head")),
+)
+
+
+@dataclass(frozen=True)
+class GroupCost:
+    """Measured cost of one 4-block group under one configuration."""
+
+    group: str
+    compute_time_s: float
+    memory_gb: float
+    training_cost_s: float
+    shared: bool
+
+
+@dataclass(frozen=True)
+class ProfiledConfig:
+    """One Table I configuration with measured costs and accuracy."""
+
+    config: BlockConfig
+    groups: tuple[GroupCost, ...]
+    accuracy: float
+
+    @property
+    def total_compute_time_s(self) -> float:
+        return sum(g.compute_time_s for g in self.groups)
+
+    @property
+    def total_memory_gb(self) -> float:
+        return sum(g.memory_gb for g in self.groups)
+
+
+def _group_shared(config: BlockConfig, members: tuple[str, ...]) -> bool:
+    """A group is shared when every prunable/trainable member is frozen."""
+    stage_members = [m for m in members if m.startswith("layer")]
+    if not stage_members:
+        return not config.from_scratch
+    if "head" in members:
+        return False  # the classifier is always task specific
+    return all(m in config.shared_stages for m in stage_members) and not config.from_scratch
+
+
+def _build_config_model(
+    config: BlockConfig,
+    num_classes: int,
+    input_size: int,
+    width: int,
+    seed: int,
+) -> ResNet18:
+    model = build_resnet18(
+        num_classes=num_classes, input_size=input_size, width=width, seed=seed
+    )
+    if config.pruned:
+        prune_resnet(model, set(config.prunable_blocks), config.prune_ratio)
+    return model
+
+
+def _profile_config(
+    config: BlockConfig,
+    num_classes: int,
+    input_size: int,
+    width: int,
+    seed: int,
+    fine_tune_epochs: int,
+    repeats: int,
+    base_profile: ModelProfile,
+) -> ProfiledConfig:
+    model = _build_config_model(config, num_classes, input_size, width, seed)
+    # the pruning accuracy drop is a function of the *full* model's
+    # parameter split, so derive it before/independently of pruning
+    full_model = build_resnet18(
+        num_classes=num_classes, input_size=input_size, width=width, seed=seed
+    )
+    profile: ModelProfile = profile_model(model, repeats=repeats)
+    groups: list[GroupCost] = []
+    for group_name, members in BLOCK_GROUPS:
+        shared = _group_shared(config, members)
+        # Shared groups are the *same deployed blocks* across every
+        # configuration and task, so their cost must come from a single
+        # measurement (the base model); per-config wall-clock noise
+        # would otherwise make the catalog inconsistent.
+        source = base_profile if shared else profile
+        compute = sum(source.block(m).compute_time_s for m in members)
+        memory = sum(source.block(m).memory_bytes for m in members) / 1e9
+        if shared:
+            training = 0.0
+        else:
+            # training cost attributed proportionally to the group's
+            # share of trainable parameters
+            trainable = set(config.trainable_blocks)
+            group_params = sum(
+                profile.block(m).params for m in members if m in trainable
+            )
+            total = sum(b.params for b in profile.blocks if b.name in trainable)
+            full_cost = training_cost_seconds(model, config, fine_tune_epochs)
+            training = full_cost * (group_params / total) if total else 0.0
+        groups.append(
+            GroupCost(
+                group=group_name,
+                compute_time_s=compute,
+                memory_gb=memory,
+                training_cost_s=training,
+                shared=shared,
+            )
+        )
+    curve = LearningCurveModel.for_config(config, num_classes=num_classes + 1)
+    accuracy = curve.accuracy_at(fine_tune_epochs)
+    if config.pruned:
+        accuracy = max(0.0, accuracy - pruned_accuracy_drop(config, full_model))
+    return ProfiledConfig(config=config, groups=tuple(groups), accuracy=accuracy)
+
+
+def profile_table_i(
+    num_classes: int = 60,
+    input_size: int = 32,
+    width: int = 64,
+    seed: int = 0,
+    fine_tune_epochs: int = 100,
+    repeats: int = 3,
+    configs: dict[str, BlockConfig] | None = None,
+) -> dict[str, ProfiledConfig]:
+    """Profile every Table I configuration (the scenario cost basis)."""
+    configs = configs or TABLE_I_CONFIGS
+    base_model = build_resnet18(
+        num_classes=num_classes, input_size=input_size, width=width, seed=seed
+    )
+    base_profile = profile_model(base_model, repeats=repeats)
+    return {
+        name: _profile_config(
+            cfg,
+            num_classes,
+            input_size,
+            width,
+            seed,
+            fine_tune_epochs,
+            repeats,
+            base_profile,
+        )
+        for name, cfg in configs.items()
+    }
+
+
+def build_task_paths(
+    task: Task,
+    profiled: dict[str, ProfiledConfig],
+    quality: QualityLevel,
+    memory_scale: float = 1.0,
+    compute_scale: float = 1.0,
+    accuracy_offset: float = 0.0,
+) -> list[Path]:
+    """Instantiate catalog paths for ``task`` from profiled configs.
+
+    Shared groups become global ``base:`` blocks (memory and training
+    paid once across every task using them); fine-tuned groups become
+    per-task blocks.  ``memory_scale`` / ``compute_scale`` map the CPU
+    profiling substrate to scenario magnitudes and ``accuracy_offset``
+    models per-task difficulty.
+    """
+    paths: list[Path] = []
+    for name, pc in profiled.items():
+        dnn_id = f"task{task.task_id}:{name}" if not _all_shared(pc) else "base"
+        blocks: list[Block] = []
+        for group in pc.groups:
+            if group.shared:
+                block_id = f"base:{group.group}"
+                block_dnn = "base"
+            else:
+                block_id = f"task{task.task_id}:{name}:{group.group}"
+                block_dnn = dnn_id
+            blocks.append(
+                Block(
+                    block_id=block_id,
+                    dnn_id=block_dnn,
+                    compute_time_s=group.compute_time_s * compute_scale,
+                    memory_gb=group.memory_gb * memory_scale,
+                    training_cost_s=group.training_cost_s,
+                )
+            )
+        accuracy = min(1.0, max(0.0, pc.accuracy + accuracy_offset))
+        paths.append(
+            Path(
+                path_id=f"task{task.task_id}:{name}",
+                dnn_id=dnn_id,
+                task_id=task.task_id,
+                blocks=tuple(blocks),
+                accuracy=accuracy,
+                quality=quality,
+            )
+        )
+    return paths
+
+
+def _all_shared(pc: ProfiledConfig) -> bool:
+    return all(g.shared for g in pc.groups)

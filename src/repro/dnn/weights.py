@@ -1,0 +1,97 @@
+"""Saving and loading model weights.
+
+Serializes a :class:`~repro.dnn.resnet.BlockwiseModel`'s parameters to
+a single ``.npz`` archive, keyed by block name, layer index and
+parameter index — enough to restore weights into a freshly built model
+of the same architecture (the deployment flow: fine-tune once, ship the
+blocks to the edge, load on demand).
+
+Block-level granularity mirrors the paper's deployment unit: individual
+blocks can be extracted and loaded into another model that shares the
+architecture prefix (e.g. installing fine-tuned ``layer4`` + ``head``
+blocks over a common pretrained trunk).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dnn.resnet import BLOCK_NAMES, BlockwiseModel
+
+__all__ = ["state_dict", "load_state_dict", "save_weights", "load_weights", "transplant_block"]
+
+
+def state_dict(model: BlockwiseModel) -> dict[str, np.ndarray]:
+    """Flatten the model's parameters into ``{key: array}``.
+
+    Keys look like ``layer3/12/0`` (block, primitive-layer index within
+    the block, parameter index within the layer).
+    """
+    state: dict[str, np.ndarray] = {}
+    for block_name in BLOCK_NAMES:
+        block = model.blocks[block_name]
+        for layer_index, layer in enumerate(block.iter_layers()):
+            for param_index, param in enumerate(layer.parameters()):
+                state[f"{block_name}/{layer_index}/{param_index}"] = param
+    return state
+
+
+def load_state_dict(model: BlockwiseModel, state: dict[str, np.ndarray]) -> None:
+    """Copy ``state`` into the model's parameters, in place.
+
+    Raises on any missing key or shape mismatch — a silent partial load
+    would be a correctness hazard.
+    """
+    expected = state_dict(model)
+    missing = sorted(set(expected) - set(state))
+    if missing:
+        raise KeyError(f"state is missing {len(missing)} keys, e.g. {missing[:3]}")
+    for key, param in expected.items():
+        value = state[key]
+        if value.shape != param.shape:
+            raise ValueError(
+                f"shape mismatch for {key}: model {param.shape} vs state {value.shape}"
+            )
+        param[...] = value.astype(param.dtype)
+
+
+def save_weights(model: BlockwiseModel, path: str) -> None:
+    """Write all parameters to an ``.npz`` archive."""
+    np.savez_compressed(path, **state_dict(model))
+
+
+def load_weights(model: BlockwiseModel, path: str) -> None:
+    """Restore parameters from an ``.npz`` archive (strict)."""
+    with np.load(path) as archive:
+        load_state_dict(model, dict(archive))
+
+
+def transplant_block(
+    source: BlockwiseModel, target: BlockwiseModel, block_name: str
+) -> None:
+    """Copy one block's parameters from ``source`` into ``target``.
+
+    The deployment primitive behind block sharing: a fine-tuned block
+    trained in one model installs into another model with the same
+    architecture at that position.
+    """
+    if block_name not in BLOCK_NAMES:
+        raise KeyError(f"unknown block {block_name!r}")
+    src_layers = list(source.blocks[block_name].iter_layers())
+    dst_layers = list(target.blocks[block_name].iter_layers())
+    if len(src_layers) != len(dst_layers):
+        raise ValueError(
+            f"block {block_name!r} structure differs: "
+            f"{len(src_layers)} vs {len(dst_layers)} layers"
+        )
+    for src, dst in zip(src_layers, dst_layers):
+        src_params = src.parameters()
+        dst_params = dst.parameters()
+        if len(src_params) != len(dst_params):
+            raise ValueError(f"layer parameter counts differ in {block_name!r}")
+        for sp, dp in zip(src_params, dst_params):
+            if sp.shape != dp.shape:
+                raise ValueError(
+                    f"shape mismatch in {block_name!r}: {sp.shape} vs {dp.shape}"
+                )
+            dp[...] = sp.astype(dp.dtype)

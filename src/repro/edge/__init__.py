@@ -1,0 +1,21 @@
+"""Edge computing platform: resource pools, VIM and the controller.
+
+Implements the right-hand side of Fig. 4: the Virtual Infrastructure
+Manager exposing computing status (GPUs, VRAM), the DNN repository
+deployment, and the OffloaDNN controller driving the 7-step workflow
+from task admission requests to per-task resource allocation.
+"""
+
+from repro.edge.resources import ComputePool, MemoryPool, Gpu
+from repro.edge.vim import VirtualInfrastructureManager, Deployment
+from repro.edge.controller import OffloaDNNController, AdmissionTicket
+
+__all__ = [
+    "ComputePool",
+    "MemoryPool",
+    "Gpu",
+    "VirtualInfrastructureManager",
+    "Deployment",
+    "OffloaDNNController",
+    "AdmissionTicket",
+]

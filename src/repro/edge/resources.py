@@ -1,0 +1,99 @@
+"""Edge compute and memory resource pools.
+
+Models the "computing resource pool" of Fig. 4: a set of GPUs, each
+with its own VRAM, aggregated into a compute-time pool ``C`` and a
+memory pool ``M`` that deployments draw from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Gpu", "ComputePool", "MemoryPool"]
+
+
+@dataclass(frozen=True)
+class Gpu:
+    """One accelerator of the edge platform."""
+
+    gpu_id: int
+    vram_gb: float
+    #: sustained compute-time the device contributes per wall-clock
+    #: second (1.0 = one device-second per second)
+    compute_share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.vram_gb <= 0:
+            raise ValueError("vram_gb must be positive")
+        if self.compute_share <= 0:
+            raise ValueError("compute_share must be positive")
+
+
+@dataclass
+class MemoryPool:
+    """Tracks memory reservations against a capacity."""
+
+    capacity_gb: float
+    reservations: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_gb <= 0:
+            raise ValueError("capacity must be positive")
+
+    @property
+    def used_gb(self) -> float:
+        return sum(self.reservations.values())
+
+    @property
+    def free_gb(self) -> float:
+        return self.capacity_gb - self.used_gb
+
+    def reserve(self, key: str, amount_gb: float) -> None:
+        if amount_gb < 0:
+            raise ValueError("amount must be >= 0")
+        if key in self.reservations:
+            raise KeyError(f"reservation {key!r} already exists")
+        if amount_gb > self.free_gb + 1e-12:
+            raise MemoryError(
+                f"cannot reserve {amount_gb:.3f} GB for {key!r}: "
+                f"{self.free_gb:.3f} GB free of {self.capacity_gb:.3f}"
+            )
+        self.reservations[key] = amount_gb
+
+    def release(self, key: str) -> float:
+        return self.reservations.pop(key, 0.0)
+
+
+@dataclass
+class ComputePool:
+    """Tracks per-second compute-time commitments against ``C``."""
+
+    capacity_s: float
+    commitments: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_s <= 0:
+            raise ValueError("capacity must be positive")
+
+    @property
+    def used_s(self) -> float:
+        return sum(self.commitments.values())
+
+    @property
+    def free_s(self) -> float:
+        return self.capacity_s - self.used_s
+
+    def commit(self, key: str, amount_s: float) -> None:
+        if amount_s < 0:
+            raise ValueError("amount must be >= 0")
+        if key in self.commitments:
+            raise KeyError(f"commitment {key!r} already exists")
+        if amount_s > self.free_s + 1e-12:
+            raise RuntimeError(
+                f"cannot commit {amount_s:.3f} s for {key!r}: "
+                f"{self.free_s:.3f} s free of {self.capacity_s:.3f}"
+            )
+        self.commitments[key] = amount_s
+
+    def release(self, key: str) -> float:
+        return self.commitments.pop(key, 0.0)

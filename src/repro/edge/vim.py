@@ -1,0 +1,100 @@
+"""Virtual Infrastructure Manager (VIM).
+
+The VIM of Fig. 4 reports the computing status (step 2 of the workflow)
+and performs DNN block deployment (step 5).  Block deployments are
+reference counted: a block shared by several tasks is loaded once and
+released only when its last user leaves — the ``m(s^d)`` semantics of
+constraint (1b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.catalog import Block
+from repro.edge.resources import ComputePool, Gpu, MemoryPool
+
+__all__ = ["Deployment", "VirtualInfrastructureManager"]
+
+
+@dataclass
+class Deployment:
+    """An active DNN block with its reference count."""
+
+    block: Block
+    users: set[int] = field(default_factory=set)
+
+    @property
+    def reference_count(self) -> int:
+        return len(self.users)
+
+
+@dataclass
+class VirtualInfrastructureManager:
+    """Reference-counted block deployment over the edge resource pools."""
+
+    gpus: tuple[Gpu, ...]
+    compute: ComputePool = field(init=False)
+    memory: MemoryPool = field(init=False)
+    deployments: dict[str, Deployment] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.gpus:
+            raise ValueError("need at least one GPU")
+        self.memory = MemoryPool(capacity_gb=sum(g.vram_gb for g in self.gpus))
+        self.compute = ComputePool(capacity_s=sum(g.compute_share for g in self.gpus))
+
+    # ------------------------------------------------------------------
+    # status (workflow step 2)
+    # ------------------------------------------------------------------
+
+    def computing_status(self) -> dict[str, float]:
+        """Snapshot the controller pulls before solving DOT."""
+        return {
+            "memory_capacity_gb": self.memory.capacity_gb,
+            "memory_free_gb": self.memory.free_gb,
+            "compute_capacity_s": self.compute.capacity_s,
+            "compute_free_s": self.compute.free_s,
+            "active_blocks": float(len(self.deployments)),
+        }
+
+    # ------------------------------------------------------------------
+    # deployment (workflow step 5)
+    # ------------------------------------------------------------------
+
+    def deploy_block(self, block: Block, task_id: int) -> Deployment:
+        """Activate ``block`` for ``task_id`` (idempotent per task).
+
+        Memory is reserved only on first activation — the block-sharing
+        memory saving the paper exploits.
+        """
+        deployment = self.deployments.get(block.block_id)
+        if deployment is None:
+            self.memory.reserve(block.block_id, block.memory_gb)
+            deployment = Deployment(block=block)
+            self.deployments[block.block_id] = deployment
+        deployment.users.add(task_id)
+        return deployment
+
+    def release_task(self, task_id: int) -> list[str]:
+        """Drop ``task_id`` from every block; unload orphaned blocks."""
+        unloaded: list[str] = []
+        for block_id in list(self.deployments):
+            deployment = self.deployments[block_id]
+            deployment.users.discard(task_id)
+            if not deployment.users:
+                self.memory.release(block_id)
+                del self.deployments[block_id]
+                unloaded.append(block_id)
+        self.compute.release(f"task{task_id}")
+        return unloaded
+
+    def commit_inference_load(self, task_id: int, load_s: float) -> None:
+        """Reserve per-second compute for an admitted task's inferences."""
+        self.compute.commit(f"task{task_id}", load_s)
+
+    def deployed_memory_gb(self) -> float:
+        return self.memory.used_gb
+
+    def is_deployed(self, block_id: str) -> bool:
+        return block_id in self.deployments

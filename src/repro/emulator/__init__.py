@@ -1,0 +1,34 @@
+"""Discrete-event network emulator — the Colosseum substitute.
+
+The paper validates OffloaDNN on the Colosseum hardware-in-the-loop
+emulator (Sec. V-B): an SRN hosts the vRAN base station, the computing
+platform and the controller, while 5 SRNs act as UEs offloading tasks
+over an emulated 20 MHz LTE cell (100 RBs, 0 dB path loss).
+
+This package reproduces the experiment in software: a discrete-event
+simulator drives UE frame generation at the admitted rates, TTI-granular
+uplink transmission over the allocated slices, a FIFO GPU queue
+executing the selected DNN paths, and the downlink of results —
+producing the Fig. 11 end-to-end-latency-versus-time series.
+"""
+
+from repro.emulator.simulator import Simulator, Event
+from repro.emulator.lte import LteCell, TTI_S
+from repro.emulator.nodes import UserEquipment, EdgeServer, FrameRecord
+from repro.emulator.scenario import EmulationScenario, EmulationResult, run_small_scale_emulation
+from repro.emulator.metrics import LatencyTimeline, moving_average
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "LteCell",
+    "TTI_S",
+    "UserEquipment",
+    "EdgeServer",
+    "FrameRecord",
+    "EmulationScenario",
+    "EmulationResult",
+    "run_small_scale_emulation",
+    "LatencyTimeline",
+    "moving_average",
+]

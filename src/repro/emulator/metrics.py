@@ -1,0 +1,116 @@
+"""Latency metrics extracted from emulation runs (Fig. 11)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.emulator.nodes import FrameRecord
+
+__all__ = ["moving_average", "LatencyTimeline", "TaskStatistics"]
+
+
+@dataclass(frozen=True)
+class TaskStatistics:
+    """Per-task summary of an emulation run.
+
+    Decomposes the end-to-end latency into its uplink (transmission +
+    slice queueing) and compute (service + GPU queueing) components,
+    and reports goodput and deadline compliance.
+    """
+
+    task_id: int
+    frames: int
+    mean_latency_s: float
+    p95_latency_s: float
+    max_latency_s: float
+    mean_uplink_s: float
+    mean_compute_s: float
+    goodput_fps: float
+    deadline_miss_fraction: float
+
+    @classmethod
+    def from_records(
+        cls,
+        task_id: int,
+        records: list[FrameRecord],
+        duration_s: float,
+        deadline_s: float,
+    ) -> "TaskStatistics":
+        if not records:
+            return cls(
+                task_id=task_id, frames=0,
+                mean_latency_s=float("nan"), p95_latency_s=float("nan"),
+                max_latency_s=float("nan"), mean_uplink_s=float("nan"),
+                mean_compute_s=float("nan"), goodput_fps=0.0,
+                deadline_miss_fraction=float("nan"),
+            )
+        latency = np.array([r.end_to_end_latency for r in records])
+        uplink = np.array([r.uplink_done_at - r.created_at for r in records])
+        compute = np.array([r.compute_done_at - r.uplink_done_at for r in records])
+        return cls(
+            task_id=task_id,
+            frames=len(records),
+            mean_latency_s=float(latency.mean()),
+            p95_latency_s=float(np.percentile(latency, 95)),
+            max_latency_s=float(latency.max()),
+            mean_uplink_s=float(uplink.mean()),
+            mean_compute_s=float(compute.mean()),
+            goodput_fps=len(records) / duration_s if duration_s > 0 else 0.0,
+            deadline_miss_fraction=float((latency > deadline_s).mean()),
+        )
+
+
+def moving_average(values: np.ndarray, window: int = 3) -> np.ndarray:
+    """Trailing moving average (the Fig. 11 smoothing, window 3)."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    values = np.asarray(values, dtype=float)
+    if len(values) == 0:
+        return values
+    out = np.empty_like(values)
+    for i in range(len(values)):
+        lo = max(0, i - window + 1)
+        out[i] = values[lo : i + 1].mean()
+    return out
+
+
+@dataclass
+class LatencyTimeline:
+    """Per-task (time, latency) series from completed frames."""
+
+    records_by_task: dict[int, list[FrameRecord]] = field(default_factory=dict)
+
+    @classmethod
+    def from_records(cls, records: list[FrameRecord]) -> "LatencyTimeline":
+        timeline = cls()
+        for record in sorted(records, key=lambda r: r.completed_at):
+            timeline.records_by_task.setdefault(record.task_id, []).append(record)
+        return timeline
+
+    def series(self, task_id: int, window: int = 3) -> tuple[np.ndarray, np.ndarray]:
+        """(completion times, smoothed end-to-end latencies) for a task."""
+        records = self.records_by_task.get(task_id, [])
+        times = np.array([r.completed_at for r in records])
+        latencies = np.array([r.end_to_end_latency for r in records])
+        return times, moving_average(latencies, window)
+
+    def max_latency(self, task_id: int) -> float:
+        records = self.records_by_task.get(task_id, [])
+        if not records:
+            return float("nan")
+        return max(r.end_to_end_latency for r in records)
+
+    def mean_latency(self, task_id: int) -> float:
+        records = self.records_by_task.get(task_id, [])
+        if not records:
+            return float("nan")
+        return float(np.mean([r.end_to_end_latency for r in records]))
+
+    def violation_fraction(self, task_id: int, limit_s: float, window: int = 3) -> float:
+        """Fraction of (smoothed) samples above the latency target."""
+        _, smoothed = self.series(task_id, window)
+        if len(smoothed) == 0:
+            return float("nan")
+        return float((smoothed > limit_s).mean())

@@ -1,0 +1,141 @@
+"""Emulated network nodes: UEs and the edge server.
+
+A :class:`UserEquipment` generates inference frames at the rate granted
+by its admission ticket (step 7 of the Fig. 4 workflow) and records the
+completion of each frame.  The :class:`EdgeServer` executes the
+selected DNN path for each arriving frame on a FIFO GPU queue whose
+service time is the path's measured compute time ``Σ c(s)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.catalog import Path
+from repro.edge.controller import AdmissionTicket
+from repro.emulator.lte import LteCell
+from repro.emulator.simulator import Simulator
+
+__all__ = ["FrameRecord", "EdgeServer", "UserEquipment"]
+
+
+@dataclass
+class FrameRecord:
+    """Lifecycle timestamps of one offloaded frame."""
+
+    task_id: int
+    frame_id: int
+    created_at: float
+    uplink_done_at: float = float("nan")
+    compute_done_at: float = float("nan")
+    completed_at: float = float("nan")
+
+    @property
+    def end_to_end_latency(self) -> float:
+        return self.completed_at - self.created_at
+
+
+@dataclass
+class EdgeServer:
+    """FIFO GPU queue executing DNN paths for offloaded frames."""
+
+    simulator: Simulator
+    #: small fixed result-return time (tiny payload on the downlink)
+    result_return_s: float = 0.002
+    #: multiplicative jitter applied to each service time
+    compute_jitter: float = 0.05
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    _busy_until: float = 0.0
+    #: accumulated GPU service time (for utilization accounting)
+    busy_time_s: float = 0.0
+    completed: list[FrameRecord] = field(default_factory=list)
+
+    def submit(self, record: FrameRecord, path: Path) -> None:
+        """A frame arrived at the server; queue it on the GPU."""
+        service = path.compute_time_s
+        if self.compute_jitter > 0:
+            service *= 1.0 + float(
+                self.rng.uniform(-self.compute_jitter, self.compute_jitter)
+            )
+        start = max(self.simulator.now, self._busy_until)
+        finish = start + service
+        self._busy_until = finish
+        self.busy_time_s += service
+        record.compute_done_at = finish
+        record.completed_at = finish + self.result_return_s
+
+        def complete() -> None:
+            self.completed.append(record)
+
+        self.simulator.schedule_at(record.completed_at, complete)
+
+    @property
+    def utilization_busy_until(self) -> float:
+        return self._busy_until
+
+    def utilization(self, duration_s: float) -> float:
+        """Fraction of ``duration_s`` the GPU spent serving frames."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        return min(1.0, self.busy_time_s / duration_s)
+
+
+@dataclass
+class UserEquipment:
+    """One mobile device offloading a task at its granted rate."""
+
+    simulator: Simulator
+    cell: LteCell
+    server: EdgeServer
+    ticket: AdmissionTicket
+    path: Path
+    #: Poisson arrivals if True, deterministic spacing otherwise
+    poisson: bool = False
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(1))
+    frames_sent: int = 0
+
+    def start(self, until: float, offset: float = 0.0) -> None:
+        """Generate frames from t=``offset`` until ``until`` seconds.
+
+        ``offset`` staggers the phases of multiple devices sharing a
+        task's slice.
+        """
+        if offset < 0:
+            raise ValueError("offset must be >= 0")
+        if not self.ticket.admitted or self.ticket.granted_rate <= 0:
+            return
+        self._schedule_next(offset, until)
+
+    def _interarrival(self) -> float:
+        mean = 1.0 / self.ticket.granted_rate
+        if self.poisson:
+            return float(self.rng.exponential(mean))
+        return mean
+
+    def _schedule_next(self, at: float, until: float) -> None:
+        if at > until:
+            return
+
+        def generate() -> None:
+            self._send_frame()
+            self._schedule_next(self.simulator.now + self._interarrival(), until)
+
+        self.simulator.schedule_at(at, generate)
+
+    def _send_frame(self) -> None:
+        record = FrameRecord(
+            task_id=self.ticket.task_id,
+            frame_id=self.frames_sent,
+            created_at=self.simulator.now,
+        )
+        self.frames_sent += 1
+        bits = self.path.bits_per_image
+        delivery = self.cell.enqueue_frame(self.ticket.task_id, bits, self.simulator.now)
+        record.uplink_done_at = delivery
+
+        def arrive() -> None:
+            self.server.submit(record, self.path)
+
+        self.simulator.schedule_at(delivery, arrive)

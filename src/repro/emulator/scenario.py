@@ -1,0 +1,170 @@
+"""End-to-end emulation scenarios (the Sec. V-B experiment).
+
+Wires the full stack together: the OffloaDNN controller admits the
+small-scale tasks, configures the slices and deployments, and then the
+DES runs UEs offloading frames through the LTE cell to the edge GPU —
+the software equivalent of the Colosseum run behind Fig. 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.heuristic import OffloaDNNSolver
+from repro.core.problem import DOTProblem, RadioModel
+from repro.edge.controller import AdmissionTicket, OffloaDNNController
+from repro.edge.resources import Gpu
+from repro.edge.vim import VirtualInfrastructureManager
+from repro.emulator.lte import LteCell
+from repro.emulator.metrics import LatencyTimeline
+from repro.emulator.nodes import EdgeServer, UserEquipment
+from repro.emulator.simulator import Simulator
+from repro.radio.slicing import SliceManager
+from repro.workloads.smallscale import SMALL_SCALE, small_scale_problem
+
+__all__ = ["EmulationScenario", "EmulationResult", "run_small_scale_emulation"]
+
+
+@dataclass
+class EmulationResult:
+    """Outcome of one emulation run."""
+
+    tickets: dict[int, AdmissionTicket]
+    timeline: LatencyTimeline
+    duration_s: float
+    events_processed: int
+    #: fraction of the run the edge GPU spent serving frames
+    gpu_utilization: float = 0.0
+
+    def statistics(self, problem: DOTProblem) -> dict[int, "TaskStatistics"]:
+        """Per-task summaries (latency decomposition, goodput, misses)."""
+        from repro.emulator.metrics import TaskStatistics
+
+        stats = {}
+        for task in problem.tasks:
+            records = self.timeline.records_by_task.get(task.task_id, [])
+            stats[task.task_id] = TaskStatistics.from_records(
+                task.task_id, records, self.duration_s, task.max_latency_s
+            )
+        return stats
+
+    def all_within_limits(self, problem: DOTProblem, window: int = 3) -> bool:
+        """Every task's smoothed latency within its ``L_τ`` target."""
+        for task in problem.tasks:
+            ticket = self.tickets[task.task_id]
+            if not ticket.admitted:
+                continue
+            violations = self.timeline.violation_fraction(
+                task.task_id, task.max_latency_s, window
+            )
+            if not np.isnan(violations) and violations > 0.0:
+                return False
+        return True
+
+
+@dataclass
+class EmulationScenario:
+    """A DOT problem driven through the controller and the DES."""
+
+    problem: DOTProblem
+    duration_s: float = 20.0
+    poisson_arrivals: bool = False
+    compute_jitter: float = 0.05
+    #: mobile devices offloading each task (they split the granted rate
+    #: and share the task's slice, like the paper's multiple UE SRNs)
+    devices_per_task: int = 1
+    #: optional slow-fading process on the uplink
+    fading: object | None = None
+    seed: int = 0
+
+    def run(self, solver: object | None = None) -> EmulationResult:
+        budgets = self.problem.budgets
+        vim = VirtualInfrastructureManager(
+            gpus=(
+                Gpu(gpu_id=0, vram_gb=budgets.memory_gb, compute_share=budgets.compute_time_s),
+            )
+        )
+        slice_manager = SliceManager(capacity_rbs=budgets.radio_blocks)
+        controller = OffloaDNNController(
+            vim=vim,
+            slice_manager=slice_manager,
+            radio=self.problem.radio,
+            solver=solver or OffloaDNNSolver(),
+            alpha=self.problem.alpha,
+            training_budget_s=budgets.training_budget_s,
+        )
+        tickets = controller.handle_admission_requests(
+            self.problem.tasks, self.problem.catalog
+        )
+
+        if self.devices_per_task < 1:
+            raise ValueError("devices_per_task must be >= 1")
+        simulator = Simulator()
+        cell = LteCell(slice_manager=slice_manager, fading=self.fading)
+        rng = np.random.default_rng(self.seed)
+        server = EdgeServer(
+            simulator=simulator,
+            compute_jitter=self.compute_jitter,
+            rng=np.random.default_rng(self.seed + 1),
+        )
+        assert controller.last_solution is not None
+        for task in self.problem.tasks:
+            ticket = tickets[task.task_id]
+            if not ticket.admitted:
+                continue
+            assignment = controller.last_solution.assignment(task)
+            assert assignment.path is not None
+            from dataclasses import replace as dc_replace
+
+            for device in range(self.devices_per_task):
+                device_ticket = dc_replace(
+                    ticket, granted_rate=ticket.granted_rate / self.devices_per_task
+                )
+                ue = UserEquipment(
+                    simulator=simulator,
+                    cell=cell,
+                    server=server,
+                    ticket=device_ticket,
+                    path=assignment.path,
+                    poisson=self.poisson_arrivals,
+                    rng=np.random.default_rng(int(rng.integers(1 << 31)) + device),
+                )
+                # stagger device start phases so frames interleave on
+                # the shared slice rather than arriving in bursts
+                offset = (
+                    device / (device_ticket.granted_rate * self.devices_per_task)
+                    if device_ticket.granted_rate > 0
+                    else 0.0
+                )
+                ue.start(until=self.duration_s, offset=offset)
+        simulator.run()
+        timeline = LatencyTimeline.from_records(server.completed)
+        return EmulationResult(
+            tickets=tickets,
+            timeline=timeline,
+            duration_s=self.duration_s,
+            events_processed=simulator.events_processed,
+            gpu_utilization=server.utilization(max(self.duration_s, simulator.now)),
+        )
+
+
+def run_small_scale_emulation(
+    num_tasks: int = 5,
+    duration_s: float = 20.0,
+    radio_blocks: int = 100,
+    seed: int = 0,
+) -> tuple[DOTProblem, EmulationResult]:
+    """The Sec. V-B experiment: small-scale tasks on a 100-RB cell.
+
+    Colosseum dedicates the whole 20 MHz cell (100 RBs) to the
+    experiment, so the radio budget is widened accordingly relative to
+    the numerical small-scale scenario.
+    """
+    from dataclasses import replace
+
+    params = replace(SMALL_SCALE, radio_blocks=radio_blocks)
+    problem = small_scale_problem(num_tasks, params=params, seed=seed)
+    scenario = EmulationScenario(problem=problem, seed=seed)
+    return problem, scenario.run()

@@ -1,0 +1,76 @@
+"""Discrete-event simulation core.
+
+A minimal, deterministic event loop: events are (time, sequence)
+ordered in a heap; callbacks schedule further events.  Determinism
+matters because the emulation benches assert reproducible latency
+traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "Simulator"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback; ordering is (time, sequence)."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """Event loop with virtual time."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._sequence = 0
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        event = Event(time=self.now + delay, sequence=self._sequence, callback=callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        return self.schedule(max(0.0, time - self.now), callback)
+
+    def run_until(self, end_time: float) -> None:
+        """Process events with ``time <= end_time`` in order."""
+        while self._queue and self._queue[0].time <= end_time:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+            self.events_processed += 1
+        self.now = max(self.now, end_time)
+
+    def run(self) -> None:
+        """Run until the event queue drains."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+            self.events_processed += 1
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)

@@ -1,0 +1,84 @@
+"""Wireless channel model.
+
+Computes the average SINR ``σ_τ`` experienced by the devices offloading
+a task, from transmit power, distance-dependent path loss, shadowing
+and noise.  The Colosseum validation uses a static 0 dB path loss; the
+general model supports log-distance path loss with log-normal
+shadowing for richer scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["path_loss_db", "snr_db", "ChannelModel"]
+
+BOLTZMANN = 1.380649e-23
+KELVIN = 290.0
+
+
+def path_loss_db(
+    distance_m: float,
+    reference_loss_db: float = 38.0,
+    exponent: float = 3.0,
+    reference_distance_m: float = 1.0,
+) -> float:
+    """Log-distance path loss in dB."""
+    if distance_m <= 0:
+        raise ValueError("distance must be positive")
+    d = max(distance_m, reference_distance_m)
+    return reference_loss_db + 10.0 * exponent * np.log10(d / reference_distance_m)
+
+
+def noise_power_dbm(bandwidth_hz: float, noise_figure_db: float = 7.0) -> float:
+    """Thermal noise power over ``bandwidth_hz`` in dBm."""
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    watts = BOLTZMANN * KELVIN * bandwidth_hz
+    return 10.0 * np.log10(watts * 1e3) + noise_figure_db
+
+
+def snr_db(
+    tx_power_dbm: float,
+    loss_db: float,
+    bandwidth_hz: float,
+    noise_figure_db: float = 7.0,
+) -> float:
+    """Received SNR in dB for the given link budget."""
+    return tx_power_dbm - loss_db - noise_power_dbm(bandwidth_hz, noise_figure_db)
+
+
+@dataclass(frozen=True)
+class ChannelModel:
+    """Per-device uplink channel with optional shadowing.
+
+    ``static_path_loss_db`` set to a value (e.g. 0.0) reproduces the
+    Colosseum MCHEM configuration of Sec. V-B; otherwise the
+    log-distance model applies.
+    """
+
+    tx_power_dbm: float = 23.0  # UE class 3
+    bandwidth_hz: float = 180_000.0  # one LTE RB
+    noise_figure_db: float = 7.0
+    path_loss_exponent: float = 3.0
+    shadowing_std_db: float = 0.0
+    static_path_loss_db: float | None = None
+
+    def mean_snr_db(self, distance_m: float = 50.0) -> float:
+        loss = (
+            self.static_path_loss_db
+            if self.static_path_loss_db is not None
+            else path_loss_db(distance_m, exponent=self.path_loss_exponent)
+        )
+        return snr_db(self.tx_power_dbm, loss, self.bandwidth_hz, self.noise_figure_db)
+
+    def sample_snr_db(
+        self, distance_m: float, rng: np.random.Generator
+    ) -> float:
+        """One shadowing realization around the mean SNR."""
+        mean = self.mean_snr_db(distance_m)
+        if self.shadowing_std_db <= 0:
+            return mean
+        return float(mean + rng.normal(0.0, self.shadowing_std_db))

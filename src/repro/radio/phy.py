@@ -1,0 +1,83 @@
+"""PHY abstraction: from SINR to per-RB capacity ``B(σ)``.
+
+LTE links adapt their modulation and coding scheme (MCS) to the channel
+quality; the net effect is a spectral efficiency per CQI index.  This
+module provides the standard 15-entry CQI table (3GPP TS 36.213 Table
+7.2.3-1) and converts an SINR into the ``B(σ_τ)`` bits-per-RB-per-second
+figure the DOT formulation consumes.
+
+The paper's Table IV fixes ``B = 0.35 Mbps`` per RB, which corresponds
+to CQI ~10 at the emulated 0 dB path loss; :func:`bits_per_rb_from_sinr`
+generalizes this to arbitrary channel conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "CQIEntry",
+    "MCS_TABLE",
+    "cqi_from_sinr",
+    "spectral_efficiency",
+    "bits_per_rb_from_sinr",
+    "RB_BANDWIDTH_HZ",
+    "RB_SYMBOL_RATE",
+]
+
+#: LTE resource block: 12 subcarriers x 15 kHz.
+RB_BANDWIDTH_HZ = 180_000.0
+#: Usable resource elements per RB pair per ms (after control overhead).
+RB_SYMBOL_RATE = 120_000.0
+
+
+@dataclass(frozen=True)
+class CQIEntry:
+    """One CQI row: minimum SINR, modulation and spectral efficiency."""
+
+    cqi: int
+    min_sinr_db: float
+    modulation: str
+    efficiency_bps_hz: float
+
+
+#: 3GPP 36.213 CQI table with conventional SINR switching thresholds.
+MCS_TABLE: tuple[CQIEntry, ...] = (
+    CQIEntry(1, -6.7, "QPSK", 0.1523),
+    CQIEntry(2, -4.7, "QPSK", 0.2344),
+    CQIEntry(3, -2.3, "QPSK", 0.3770),
+    CQIEntry(4, 0.2, "QPSK", 0.6016),
+    CQIEntry(5, 2.4, "QPSK", 0.8770),
+    CQIEntry(6, 4.3, "QPSK", 1.1758),
+    CQIEntry(7, 5.9, "16QAM", 1.4766),
+    CQIEntry(8, 8.1, "16QAM", 1.9141),
+    CQIEntry(9, 10.3, "16QAM", 2.4063),
+    CQIEntry(10, 11.7, "64QAM", 2.7305),
+    CQIEntry(11, 14.1, "64QAM", 3.3223),
+    CQIEntry(12, 16.3, "64QAM", 3.9023),
+    CQIEntry(13, 18.7, "64QAM", 4.5234),
+    CQIEntry(14, 21.0, "64QAM", 5.1152),
+    CQIEntry(15, 22.7, "64QAM", 5.5547),
+)
+
+
+def cqi_from_sinr(sinr_db: float) -> CQIEntry | None:
+    """Highest CQI whose SINR threshold the link satisfies (None if below CQI 1)."""
+    chosen: CQIEntry | None = None
+    for entry in MCS_TABLE:
+        if sinr_db >= entry.min_sinr_db:
+            chosen = entry
+        else:
+            break
+    return chosen
+
+
+def spectral_efficiency(sinr_db: float) -> float:
+    """Spectral efficiency (bit/s/Hz) after MCS adaptation; 0 when unusable."""
+    entry = cqi_from_sinr(sinr_db)
+    return entry.efficiency_bps_hz if entry else 0.0
+
+
+def bits_per_rb_from_sinr(sinr_db: float, symbol_rate: float = RB_SYMBOL_RATE) -> float:
+    """``B(σ)``: net bits per second carried by one RB at the given SINR."""
+    return spectral_efficiency(sinr_db) * symbol_rate

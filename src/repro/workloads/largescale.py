@@ -1,0 +1,113 @@
+"""The large-scale scenario (Table IV, right column).
+
+20 tasks; request rates of 2.5 (low), 5 (medium) or 7.5 (high) req/s;
+accuracy requirement ``A_τ = 0.8 - 0.015 τ`` and latency limit
+``L_τ = 200 + 20 τ`` ms; priorities 1, 0.95, ..., 0.05; |D| = 125 DNN
+structures with |Π^d_τ| = 10 paths per task per structure (each path of
+four blocks — realized here as the ten Table I configurations per task
+on the shared base family, yielding 125+ distinct dynamic structures);
+C = 10 s, Ct = 1000 s, M = 16 GB, R = 100 RBs, β = 350 Kb,
+B = 0.35 Mbps, α = 0.5.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.problem import Budgets, DOTProblem, RadioModel
+from repro.core.task import QualityLevel, Task
+from repro.workloads.generator import CostBasis, DNNFamily, ScenarioCatalogBuilder
+
+__all__ = ["RequestRate", "LargeScaleParams", "LARGE_SCALE", "large_scale_tasks", "large_scale_problem"]
+
+
+class RequestRate(enum.Enum):
+    """The three task-request loads of the large-scale evaluation."""
+
+    LOW = 2.5
+    MEDIUM = 5.0
+    HIGH = 7.5
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class LargeScaleParams:
+    """Table IV large-scenario constants."""
+
+    num_tasks: int = 20
+    paths_per_task: int = 10
+    compute_budget_s: float = 10.0
+    training_budget_s: float = 1000.0
+    memory_gb: float = 16.0
+    bits_per_image: float = 350_000.0
+    bits_per_rb: float = 350_000.0
+    alpha: float = 0.5
+    radio_blocks: int = 100
+
+    def accuracy_for(self, task_index: int) -> float:
+        """``A_τ = 0.8 - 0.015 τ`` (τ = 1..20)."""
+        return 0.8 - 0.015 * task_index
+
+    def latency_for(self, task_index: int) -> float:
+        """``L_τ = (200 + 20 τ) ms`` (τ = 1..20)."""
+        return (200.0 + 20.0 * task_index) / 1000.0
+
+    def priority_for(self, task_index: int) -> float:
+        """1, 0.95, ..., 0.05 for τ = 1..20."""
+        return round(1.0 - 0.05 * (task_index - 1), 10)
+
+
+LARGE_SCALE = LargeScaleParams()
+
+
+def large_scale_tasks(
+    rate: RequestRate, params: LargeScaleParams = LARGE_SCALE
+) -> tuple[Task, ...]:
+    """The 20 tasks of the large-scale scenario at the given load."""
+    quality = QualityLevel(name="full", bits_per_image=params.bits_per_image)
+    return tuple(
+        Task(
+            task_id=i,
+            name=f"task-{i}",
+            method="classification",
+            priority=params.priority_for(i),
+            request_rate=rate.value,
+            min_accuracy=params.accuracy_for(i),
+            max_latency_s=params.latency_for(i),
+            qualities=(quality,),
+        )
+        for i in range(1, params.num_tasks + 1)
+    )
+
+
+def large_scale_problem(
+    rate: RequestRate,
+    params: LargeScaleParams = LARGE_SCALE,
+    basis: CostBasis | None = None,
+    seed: int = 0,
+) -> DOTProblem:
+    """Build the large-scale DOT problem at the given request rate."""
+    tasks = large_scale_tasks(rate, params)
+    builder = ScenarioCatalogBuilder(
+        basis=basis or CostBasis(),
+        families=(DNNFamily("rn18"),),
+        seed=seed,
+    )
+    quality = tasks[0].qualities[0]
+    catalog = builder.build(tasks, quality)
+    return DOTProblem(
+        tasks=tasks,
+        catalog=catalog,
+        budgets=Budgets(
+            compute_time_s=params.compute_budget_s,
+            training_budget_s=params.training_budget_s,
+            memory_gb=params.memory_gb,
+            radio_blocks=params.radio_blocks,
+        ),
+        radio=RadioModel(default_bits_per_rb=params.bits_per_rb),
+        alpha=params.alpha,
+    )

@@ -1,0 +1,112 @@
+"""The small-scale scenario (Table IV, left column).
+
+1 to 5 tasks, ordered by decreasing priority; request rate 5 req/s for
+every task; per-task accuracy requirements [0.9, 0.8, 0.7, 0.6, 0.5]
+and latency limits [200, 300, 400, 500, 600] ms; |D| = 3 DNNs with
+|Π^d_τ| = 5 paths each (every path composed of four blocks); C = 2.5 s,
+Ct = 1000 s, M = 8 GB, R = 50 RBs, β = 350 Kb, B = 0.35 Mbps, α = 0.5,
+priorities [0.8, 0.7, 0.6, 0.5, 0.4].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.problem import Budgets, DOTProblem, RadioModel
+from repro.core.task import QualityLevel, Task
+from repro.workloads.generator import CostBasis, DNNFamily, ScenarioCatalogBuilder
+
+__all__ = ["SmallScaleParams", "SMALL_SCALE", "small_scale_tasks", "small_scale_problem"]
+
+
+@dataclass(frozen=True)
+class SmallScaleParams:
+    """Table IV small-scenario constants."""
+
+    max_tasks: int = 5
+    request_rate: float = 5.0
+    accuracies: tuple[float, ...] = (0.9, 0.8, 0.7, 0.6, 0.5)
+    latencies_s: tuple[float, ...] = (0.2, 0.3, 0.4, 0.5, 0.6)
+    priorities: tuple[float, ...] = (0.8, 0.7, 0.6, 0.5, 0.4)
+    num_dnns: int = 3
+    paths_per_dnn: int = 5
+    compute_budget_s: float = 2.5
+    training_budget_s: float = 1000.0
+    memory_gb: float = 8.0
+    bits_per_image: float = 350_000.0
+    bits_per_rb: float = 350_000.0
+    alpha: float = 0.5
+    radio_blocks: int = 50
+
+
+SMALL_SCALE = SmallScaleParams()
+
+#: Five configurations spanning the accuracy/compute trade-off, offered
+#: by each of the three DNN families (|Π^d_τ| = 5).
+SMALL_SCALE_CONFIGS: tuple[str, ...] = (
+    "CONFIG A",
+    "CONFIG E",
+    "CONFIG C",
+    "CONFIG C-pruned",
+    "CONFIG A-pruned",
+)
+
+#: The three DNN families (|D| = 3): the reference ResNet-18, a slim
+#: variant and a wide variant.
+SMALL_SCALE_FAMILIES: tuple[DNNFamily, ...] = (
+    DNNFamily("rn18", compute_scale=1.0, memory_scale=1.0, accuracy_offset=0.0),
+    DNNFamily("rn18s", compute_scale=0.8, memory_scale=0.8, accuracy_offset=-0.02),
+    DNNFamily("rn18w", compute_scale=1.25, memory_scale=1.25, accuracy_offset=0.01),
+)
+
+
+def small_scale_tasks(
+    num_tasks: int, params: SmallScaleParams = SMALL_SCALE
+) -> tuple[Task, ...]:
+    """The first ``num_tasks`` tasks of the scenario, priority-ordered."""
+    if not 1 <= num_tasks <= params.max_tasks:
+        raise ValueError(f"num_tasks must be in [1, {params.max_tasks}]")
+    quality = QualityLevel(name="full", bits_per_image=params.bits_per_image)
+    return tuple(
+        Task(
+            task_id=i + 1,
+            name=f"task-{i + 1}",
+            method="classification",
+            priority=params.priorities[i],
+            request_rate=params.request_rate,
+            min_accuracy=params.accuracies[i],
+            max_latency_s=params.latencies_s[i],
+            qualities=(quality,),
+        )
+        for i in range(num_tasks)
+    )
+
+
+def small_scale_problem(
+    num_tasks: int,
+    params: SmallScaleParams = SMALL_SCALE,
+    basis: CostBasis | None = None,
+    seed: int = 0,
+) -> DOTProblem:
+    """Build the small-scale DOT problem with ``num_tasks`` tasks."""
+    tasks = small_scale_tasks(num_tasks, params)
+    builder = ScenarioCatalogBuilder(
+        basis=basis or CostBasis(),
+        families=SMALL_SCALE_FAMILIES,
+        config_names=SMALL_SCALE_CONFIGS,
+        seed=seed,
+    )
+    quality = tasks[0].qualities[0]
+    catalog = builder.build(tasks, quality)
+    return DOTProblem(
+        tasks=tasks,
+        catalog=catalog,
+        budgets=Budgets(
+            compute_time_s=params.compute_budget_s,
+            training_budget_s=params.training_budget_s,
+            memory_gb=params.memory_gb,
+            radio_blocks=params.radio_blocks,
+        ),
+        radio=RadioModel(default_bits_per_rb=params.bits_per_rb),
+        alpha=params.alpha,
+    )

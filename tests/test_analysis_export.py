@@ -1,0 +1,40 @@
+"""Tests for the CSV export of figure data."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.analysis.export import export_fig9, export_fig10, write_csv
+
+
+class TestWriteCsv:
+    def test_writes_headers_and_rows(self, tmp_path):
+        path = write_csv(tmp_path / "x.csv", ["a", "b"], [[1, 2], [3, 4]])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_csv(tmp_path / "nested" / "x.csv", ["a"], [[1]])
+        assert path.exists()
+
+
+class TestFigureExports:
+    def test_fig9_long_format(self, tmp_path):
+        path = export_fig9(tmp_path)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3 * 20  # three rates x twenty tasks
+        rates = {row["rate"] for row in rows}
+        assert rates == {"low", "medium", "high"}
+        low_task1 = next(
+            r for r in rows if r["rate"] == "low" and r["task_id"] == "1"
+        )
+        assert float(low_task1["offloadnn"]) == 1.0
+
+    def test_fig10_one_row_per_rate(self, tmp_path):
+        path = export_fig10(tmp_path)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        assert "offloadnn_memory_fraction" in rows[0]

@@ -1,0 +1,114 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_small_defaults(self):
+        args = build_parser().parse_args(["solve-small"])
+        assert args.tasks == 5
+        assert not args.optimal
+
+    def test_rate_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve-large", "--rate", "extreme"])
+
+    def test_reproduce_artifact_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "fig99"])
+
+
+class TestCommands:
+    def test_solve_small(self, capsys):
+        assert main(["solve-small", "--tasks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[OffloaDNN]" in out
+        assert "objective" in out
+
+    def test_solve_small_with_optimal(self, capsys):
+        assert main(["solve-small", "--tasks", "2", "--optimal"]) == 0
+        out = capsys.readouterr().out
+        assert "[Optimum]" in out
+
+    def test_solve_large(self, capsys):
+        assert main(["solve-large", "--rate", "low"]) == 0
+        out = capsys.readouterr().out
+        assert "[OffloaDNN] low rate" in out
+        assert "[SEM-O-RAN]" in out
+        assert "admitted 20/20" in out
+
+    def test_emulate(self, capsys):
+        assert main(["emulate", "--tasks", "2", "--duration", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "all within latency targets: True" in out
+
+    def test_profile_resnet(self, capsys):
+        assert main(["profile", "--arch", "resnet18", "--input-size", "16",
+                     "--repeats", "1", "--classes", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "layer4" in out
+        assert "total:" in out
+
+    def test_profile_mobilenet(self, capsys):
+        assert main(["profile", "--arch", "mobilenetv2", "--input-size", "16",
+                     "--repeats", "1", "--classes", "10"]) == 0
+        assert "mobilenetv2" in capsys.readouterr().out
+
+    def test_reproduce_headline(self, capsys):
+        assert main(["reproduce", "headline"]) == 0
+        out = capsys.readouterr().out
+        assert "memory_saving_pct" in out
+
+    def test_reproduce_fig9(self, capsys):
+        assert main(["reproduce", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "[low]" in out and "[high]" in out
+
+    def test_reproduce_fig10(self, capsys):
+        assert main(["reproduce", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "offloadnn_memory_fraction" in out
+
+    def test_reproduce_fig11(self, capsys):
+        assert main(["reproduce", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "within limits: True" in out
+
+    def test_reproduce_fig2(self, capsys):
+        assert main(["reproduce", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "CONFIG A" in out and "epochs-to-80%" in out
+
+    def test_sweep_radio(self, capsys):
+        assert main(["sweep", "--knob", "radio", "--values", "30,100"]) == 0
+        out = capsys.readouterr().out
+        assert "w. admission" in out
+
+    def test_sweep_default_values(self, capsys):
+        assert main(["sweep", "--knob", "memory"]) == 0
+        assert "memory" in capsys.readouterr().out
+
+    def test_export_and_solve_file(self, capsys, tmp_path):
+        problem_file = tmp_path / "p.json"
+        solution_file = tmp_path / "s.json"
+        assert main(["export-problem", str(problem_file), "--scenario", "small",
+                     "--tasks", "2"]) == 0
+        assert problem_file.exists()
+        assert main(["solve-file", str(problem_file),
+                     "--solution-out", str(solution_file)]) == 0
+        out = capsys.readouterr().out
+        assert "objective:" in out
+        assert solution_file.exists()
+
+    def test_solve_file_without_output(self, capsys, tmp_path):
+        problem_file = tmp_path / "p.json"
+        main(["export-problem", str(problem_file), "--tasks", "1"])
+        assert main(["solve-file", str(problem_file)]) == 0

@@ -1,0 +1,110 @@
+"""Unit tests for the dynamic (incremental) DOT extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristic import OffloaDNNSolver
+from repro.core.incremental import deployed_block_ids, discount_problem
+from repro.core.objective import check_constraints
+from repro.core.problem import Budgets, DOTProblem
+from tests.conftest import make_block, make_path, make_task
+from repro.core.catalog import Catalog
+from repro.core.problem import RadioModel
+
+
+def _two_wave_problems():
+    """Wave 1 problem and a wave-2 problem sharing the same base block."""
+    shared = make_block("shared", compute_time_s=0.004, memory_gb=2.0,
+                        training_cost_s=100.0)
+    quality = make_task(0).qualities[0]
+
+    def build(task_ids, priorities):
+        catalog = Catalog()
+        tasks = []
+        for tid, p in zip(task_ids, priorities):
+            task = make_task(tid, priority=p, min_accuracy=0.7, quality=quality)
+            tasks.append(task)
+            own = make_block(f"own{tid}", compute_time_s=0.003, memory_gb=0.5,
+                             training_cost_s=20.0)
+            catalog.add_path(make_path(task, f"p{tid}", (shared, own), accuracy=0.9))
+        budgets = Budgets(compute_time_s=2.5, training_budget_s=1000.0,
+                          memory_gb=8.0, radio_blocks=50)
+        return DOTProblem(tasks=tuple(tasks), catalog=catalog, budgets=budgets,
+                          radio=RadioModel(default_bits_per_rb=350_000.0))
+
+    return build([1, 2], [0.9, 0.8]), build([3, 4], [0.7, 0.6])
+
+
+class TestDiscountProblem:
+    def test_deployed_blocks_become_free(self):
+        wave1, wave2 = _two_wave_problems()
+        solution1 = OffloaDNNSolver().solve(wave1)
+        deployed = deployed_block_ids(solution1)
+        assert "shared" in deployed
+        incremental = discount_problem(wave2, deployed)
+        blocks = incremental.catalog.all_blocks()
+        assert blocks["shared"].memory_gb == 0.0
+        assert blocks["shared"].training_cost_s == 0.0
+        assert blocks["own3"].memory_gb == 0.5  # new blocks keep their cost
+
+    def test_capacities_discounted(self):
+        wave1, wave2 = _two_wave_problems()
+        solution1 = OffloaDNNSolver().solve(wave1)
+        incremental = discount_problem(
+            wave2,
+            deployed_block_ids(solution1),
+            used_memory_gb=solution1.total_memory_gb,
+            used_compute_s=solution1.total_inference_compute_s,
+            used_radio_blocks=solution1.total_radio_blocks,
+        )
+        assert incremental.budgets.memory_gb == pytest.approx(
+            8.0 - solution1.total_memory_gb
+        )
+        assert incremental.budgets.radio_blocks == int(
+            50 - solution1.total_radio_blocks
+        )
+
+    def test_incremental_solution_fits_global_budget(self):
+        """Wave-1 usage plus discounted wave-2 usage stays within the
+        original budgets — the correctness property of the extension."""
+        wave1, wave2 = _two_wave_problems()
+        solution1 = OffloaDNNSolver().solve(wave1)
+        incremental = discount_problem(
+            wave2,
+            deployed_block_ids(solution1),
+            used_memory_gb=solution1.total_memory_gb,
+            used_compute_s=solution1.total_inference_compute_s,
+            used_radio_blocks=solution1.total_radio_blocks,
+        )
+        solution2 = OffloaDNNSolver().solve(incremental)
+        assert check_constraints(incremental, solution2).feasible
+        total_memory = solution1.total_memory_gb + solution2.total_memory_gb
+        total_rbs = solution1.total_radio_blocks + solution2.total_radio_blocks
+        assert total_memory <= wave1.budgets.memory_gb + 1e-9
+        assert total_rbs <= wave1.budgets.radio_blocks + 1e-9
+
+    def test_newcomers_prefer_deployed_blocks(self):
+        """With the shared trunk free, the shared path dominates any
+        dedicated alternative of equal compute."""
+        wave1, wave2 = _two_wave_problems()
+        solution1 = OffloaDNNSolver().solve(wave1)
+        incremental = discount_problem(wave2, deployed_block_ids(solution1))
+        solution2 = OffloaDNNSolver().solve(incremental)
+        for assignment in solution2.admitted_assignments():
+            assert "shared" in assignment.path.block_ids()
+        # the shared block contributes no new memory
+        assert solution2.total_memory_gb == pytest.approx(2 * 0.5)
+
+    def test_exhausted_capacity_raises(self):
+        _, wave2 = _two_wave_problems()
+        with pytest.raises(ValueError, match="no remaining capacity"):
+            discount_problem(wave2, frozenset(), used_memory_gb=8.0)
+
+    def test_no_deployed_blocks_is_identity_costs(self):
+        _, wave2 = _two_wave_problems()
+        incremental = discount_problem(wave2, frozenset())
+        original = wave2.catalog.all_blocks()
+        discounted = incremental.catalog.all_blocks()
+        for block_id, block in original.items():
+            assert discounted[block_id].memory_gb == block.memory_gb

@@ -1,0 +1,156 @@
+"""Round-trip tests for the JSON serialization of problems/solutions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristic import OffloaDNNSolver
+from repro.core.objective import objective_value
+from repro.core.serialize import (
+    FORMAT_VERSION,
+    dump_problem,
+    dump_solution,
+    load_problem,
+    load_solution,
+    problem_from_dict,
+    problem_to_dict,
+    solution_from_dict,
+    solution_to_dict,
+)
+from repro.workloads.smallscale import small_scale_problem
+
+
+class TestProblemRoundTrip:
+    def test_round_trip_preserves_structure(self, tiny_problem):
+        data = problem_to_dict(tiny_problem)
+        restored = problem_from_dict(data)
+        assert len(restored.tasks) == len(tiny_problem.tasks)
+        assert restored.budgets == tiny_problem.budgets
+        assert restored.alpha == tiny_problem.alpha
+        for task in tiny_problem.tasks:
+            original = tiny_problem.catalog.paths_for(task)
+            loaded = restored.catalog.paths_for(task)
+            assert [p.path_id for p in loaded] == [p.path_id for p in original]
+            assert [p.accuracy for p in loaded] == [p.accuracy for p in original]
+
+    def test_shared_blocks_stay_shared(self, tiny_problem):
+        restored = problem_from_dict(problem_to_dict(tiny_problem))
+        blocks = restored.catalog.all_blocks()
+        assert "shared" in blocks
+        # block objects are shared instances across paths after decode
+        paths = restored.catalog.paths_for(0)
+        shared_objs = {
+            id(b) for p in restored.catalog.paths_by_task.values()
+            for pp in [p] for path in pp for b in path.blocks
+            if b.block_id == "shared"
+        }
+        assert len(shared_objs) == 1
+        del paths
+
+    def test_round_trip_solver_equivalence(self, tiny_problem):
+        """Solving the restored problem must reproduce the original
+        solution's decisions."""
+        restored = problem_from_dict(problem_to_dict(tiny_problem))
+        a = OffloaDNNSolver().solve(tiny_problem)
+        b = OffloaDNNSolver().solve(restored)
+        for task in tiny_problem.tasks:
+            assert (
+                a.assignment(task).path.path_id == b.assignment(task).path.path_id
+            )
+            assert a.assignment(task).admission_ratio == pytest.approx(
+                b.assignment(task).admission_ratio
+            )
+
+    def test_version_check(self, tiny_problem):
+        data = problem_to_dict(tiny_problem)
+        data["version"] = 99
+        with pytest.raises(ValueError, match="unsupported serialization version"):
+            problem_from_dict(data)
+
+    def test_file_round_trip(self, tiny_problem, tmp_path):
+        file = tmp_path / "problem.json"
+        dump_problem(tiny_problem, str(file))
+        restored = load_problem(str(file))
+        assert len(restored.tasks) == 3
+
+    def test_scenario_problem_round_trip(self):
+        problem = small_scale_problem(3)
+        restored = problem_from_dict(problem_to_dict(problem))
+        a = OffloaDNNSolver().solve(problem)
+        b = OffloaDNNSolver().solve(restored)
+        assert objective_value(problem, a) == pytest.approx(
+            objective_value(restored, b)
+        )
+
+
+class TestSolutionRoundTrip:
+    def test_round_trip_preserves_assignments(self, tiny_problem):
+        solution = OffloaDNNSolver().solve(tiny_problem)
+        data = solution_to_dict(solution)
+        assert data["version"] == FORMAT_VERSION
+        restored = solution_from_dict(data, tiny_problem)
+        for task in tiny_problem.tasks:
+            original = solution.assignment(task)
+            loaded = restored.assignment(task)
+            assert loaded.admission_ratio == pytest.approx(original.admission_ratio)
+            assert loaded.radio_blocks == original.radio_blocks
+            assert loaded.path.path_id == original.path.path_id
+
+    def test_objective_preserved(self, tiny_problem):
+        solution = OffloaDNNSolver().solve(tiny_problem)
+        restored = solution_from_dict(solution_to_dict(solution), tiny_problem)
+        assert objective_value(tiny_problem, restored) == pytest.approx(
+            objective_value(tiny_problem, solution)
+        )
+
+    def test_rejected_task_round_trip(self, tiny_problem):
+        from repro.core.solution import Assignment, DOTSolution
+
+        solution = DOTSolution()
+        for task in tiny_problem.tasks:
+            solution.assignments[task.task_id] = Assignment(
+                task=task, path=None, admission_ratio=0.0, radio_blocks=0
+            )
+        restored = solution_from_dict(solution_to_dict(solution), tiny_problem)
+        assert restored.admitted_task_count == 0
+
+    def test_unknown_path_rejected(self, tiny_problem):
+        solution = OffloaDNNSolver().solve(tiny_problem)
+        data = solution_to_dict(solution)
+        data["assignments"][0]["path_id"] = "nonexistent"
+        with pytest.raises(KeyError, match="unknown path"):
+            solution_from_dict(data, tiny_problem)
+
+    def test_file_round_trip(self, tiny_problem, tmp_path):
+        solution = OffloaDNNSolver().solve(tiny_problem)
+        file = tmp_path / "solution.json"
+        dump_solution(solution, str(file))
+        restored = load_solution(str(file), tiny_problem)
+        assert restored.admitted_task_count == solution.admitted_task_count
+
+    def test_quality_variant_round_trip(self):
+        """A solution using a quality-expanded path restores correctly."""
+        from repro.core.catalog import Catalog
+        from repro.core.problem import Budgets, DOTProblem, RadioModel
+        from repro.core.task import QualityLevel, Task
+        from tests.conftest import make_block, make_path
+
+        q_low = QualityLevel("low", 100_000.0, accuracy_factor=0.9)
+        q_high = QualityLevel("high", 350_000.0, accuracy_factor=1.0)
+        task = Task(
+            task_id=1, name="t", method="cls", priority=0.9, request_rate=5.0,
+            min_accuracy=0.5, max_latency_s=0.4, qualities=(q_low, q_high),
+        )
+        catalog = Catalog()
+        catalog.add_path(make_path(task, "p", (make_block("b"),), accuracy=0.9))
+        problem = DOTProblem(
+            tasks=(task,), catalog=catalog,
+            budgets=Budgets(2.5, 1000.0, 8.0, 50),
+            radio=RadioModel(default_bits_per_rb=350_000.0),
+        )
+        solution = OffloaDNNSolver().solve(problem)
+        restored = solution_from_dict(solution_to_dict(solution), problem)
+        assert (
+            restored.assignment(task).path.quality
+            == solution.assignment(task).path.quality
+        )

@@ -1,0 +1,135 @@
+"""Unit tests for the weighted solution tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.catalog import Catalog
+from repro.core.problem import Budgets, DOTProblem, RadioModel
+from repro.core.tree import BranchState, Vertex, build_tree
+from tests.conftest import make_block, make_path, make_task
+
+
+def _problem_with_paths(paths_spec, budgets=None, tasks=None):
+    """paths_spec: {task: [(path_id, blocks, accuracy)]}"""
+    catalog = Catalog()
+    for task, specs in paths_spec.items():
+        for path_id, blocks, accuracy in specs:
+            catalog.add_path(make_path(task, path_id, blocks, accuracy=accuracy))
+    tasks = tasks or tuple(paths_spec)
+    return DOTProblem(
+        tasks=tasks,
+        catalog=catalog,
+        budgets=budgets
+        or Budgets(compute_time_s=2.5, training_budget_s=1000.0, memory_gb=8.0, radio_blocks=50),
+        radio=RadioModel(default_bits_per_rb=350_000.0),
+    )
+
+
+class TestBuildTree:
+    def test_layers_in_priority_order(self, tiny_problem):
+        tree = build_tree(tiny_problem)
+        priorities = [c.task.priority for c in tree.cliques]
+        assert priorities == sorted(priorities, reverse=True)
+
+    def test_vertices_sorted_by_compute_time(self, tiny_problem):
+        tree = build_tree(tiny_problem)
+        for clique in tree.cliques:
+            times = [v.compute_time_s for v in clique.vertices]
+            assert times == sorted(times)
+
+    def test_accuracy_filter_removes_vertices(self):
+        task = make_task(1, min_accuracy=0.9)
+        specs = {
+            task: [
+                ("good", (make_block("a"),), 0.95),
+                ("bad", (make_block("b"),), 0.7),
+            ]
+        }
+        tree = build_tree(_problem_with_paths(specs))
+        assert len(tree.cliques[0]) == 1
+        assert tree.filtered_out[1] == 1
+
+    def test_latency_filter_removes_slow_vertices(self):
+        task = make_task(1, max_latency_s=0.1)
+        specs = {
+            task: [
+                ("fast", (make_block("a", compute_time_s=0.01),), 0.9),
+                ("slow", (make_block("b", compute_time_s=0.5),), 0.9),
+            ]
+        }
+        tree = build_tree(_problem_with_paths(specs))
+        assert [v.path.path_id for v in tree.cliques[0].vertices] == ["fast"]
+
+    def test_radio_capacity_filter(self):
+        # latency slack so small that even all RBs cannot carry the image
+        task = make_task(1, max_latency_s=0.011)
+        specs = {task: [("p", (make_block("a", compute_time_s=0.01),), 0.9)]}
+        budgets = Budgets(
+            compute_time_s=2.5, training_budget_s=1000.0, memory_gb=8.0, radio_blocks=5
+        )
+        tree = build_tree(_problem_with_paths(specs, budgets=budgets))
+        assert tree.tasks_without_options() == [task]
+
+    def test_num_branches_product(self, tiny_problem):
+        tree = build_tree(tiny_problem)
+        assert tree.num_branches() == 2 * 2 * 2
+
+
+class TestBranchState:
+    def test_extend_accumulates_new_blocks_only(self):
+        task = make_task(1)
+        shared = make_block("shared", memory_gb=0.5, training_cost_s=100.0)
+        own = make_block("own", memory_gb=0.2, training_cost_s=10.0)
+        v1 = Vertex(task=task, path=make_path(task, "p1", (shared, own)), bits_per_rb=350_000.0)
+        state = BranchState().extend(v1)
+        assert state.memory_gb == pytest.approx(0.7)
+        assert state.training_cost_s == pytest.approx(110.0)
+
+        task2 = make_task(2)
+        own2 = make_block("own2", memory_gb=0.3, training_cost_s=20.0)
+        v2 = Vertex(task=task2, path=make_path(task2, "p2", (shared, own2)), bits_per_rb=350_000.0)
+        state2 = state.extend(v2)
+        # shared not double counted
+        assert state2.memory_gb == pytest.approx(1.0)
+        assert state2.training_cost_s == pytest.approx(130.0)
+
+    def test_incremental_memory(self):
+        task = make_task(1)
+        shared = make_block("shared", memory_gb=0.5)
+        own = make_block("own", memory_gb=0.2)
+        v = Vertex(task=task, path=make_path(task, "p", (shared, own)), bits_per_rb=350_000.0)
+        state = BranchState(used_block_ids=frozenset({"shared"}), memory_gb=0.5)
+        assert state.incremental_memory(v) == pytest.approx(0.2)
+
+    def test_immutable_extension(self):
+        task = make_task(1)
+        v = Vertex(
+            task=task, path=make_path(task, "p", (make_block("b", memory_gb=0.1),)),
+            bits_per_rb=350_000.0,
+        )
+        state = BranchState()
+        state.extend(v)
+        assert state.memory_gb == 0.0  # original unchanged
+
+
+class TestVertex:
+    def test_sort_key_orders_by_compute_then_memory(self):
+        task = make_task(1)
+        fast_small = Vertex(
+            task=task,
+            path=make_path(task, "a", (make_block("a", compute_time_s=0.01, memory_gb=0.1),)),
+            bits_per_rb=350_000.0,
+        )
+        fast_big = Vertex(
+            task=task,
+            path=make_path(task, "b", (make_block("b", compute_time_s=0.01, memory_gb=0.9),)),
+            bits_per_rb=350_000.0,
+        )
+        slow = Vertex(
+            task=task,
+            path=make_path(task, "c", (make_block("c", compute_time_s=0.09, memory_gb=0.1),)),
+            bits_per_rb=350_000.0,
+        )
+        ordered = sorted([slow, fast_big, fast_small], key=Vertex.sort_key)
+        assert [v.path.path_id for v in ordered] == ["a", "b", "c"]

@@ -1,0 +1,209 @@
+"""Gradient checks for the reverse-mode engine.
+
+Every layer's backward pass is validated against central finite
+differences of the training-mode forward pass — the canonical test for
+a hand-written autograd.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnn import autograd, ops
+from repro.dnn.graph import NamedModule, Residual, Sequential
+from repro.dnn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ReLU6,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def numerical_grad(f, x: np.ndarray, eps: float = 1e-4) -> np.ndarray:
+    """Central finite differences of a scalar function of ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = f()
+        flat[i] = original - eps
+        down = f()
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_input_grad(layer, x: np.ndarray, rtol: float = 2e-2, atol: float = 1e-4):
+    """Compare analytic grad wrt input against finite differences."""
+    x = x.astype(np.float64)
+    # scalar objective: sum of outputs weighted by a fixed random tensor
+    out, cache = autograd.forward(layer, x)
+    weights = np.random.default_rng(1).normal(size=out.shape)
+
+    def objective():
+        y, _ = autograd.forward(layer, x)
+        return float((y * weights).sum())
+
+    analytic, _ = autograd.backward(layer, cache, weights)
+    numeric = numerical_grad(objective, x)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+def check_param_grads(layer, x: np.ndarray, rtol: float = 2e-2, atol: float = 1e-4):
+    """Compare analytic parameter gradients against finite differences."""
+    x = x.astype(np.float64)
+    out, cache = autograd.forward(layer, x)
+    weights = np.random.default_rng(2).normal(size=out.shape)
+    _, param_grads = autograd.backward(layer, cache, weights)
+    params = layer.parameters()
+    assert len(params) == len(param_grads)
+
+    def objective():
+        y, _ = autograd.forward(layer, x)
+        return float((y * weights).sum())
+
+    for param, analytic in zip(params, param_grads):
+        if analytic is None:
+            continue
+        param64 = param.astype(np.float64)
+        param[...] = param64  # ensure float64 view semantics stay intact
+        numeric = numerical_grad(objective, param)
+        np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+class TestPrimitiveGradients:
+    def test_conv2d_input_and_params(self):
+        layer = Conv2d(2, 3, kernel=3, stride=1, padding=1, bias=True, rng=RNG)
+        x = RNG.normal(size=(2, 2, 5, 5))
+        check_input_grad(layer, x)
+        check_param_grads(layer, x)
+
+    def test_conv2d_strided(self):
+        layer = Conv2d(2, 2, kernel=3, stride=2, padding=1, rng=RNG)
+        x = RNG.normal(size=(1, 2, 6, 6))
+        check_input_grad(layer, x)
+        check_param_grads(layer, x)
+
+    def test_depthwise_conv(self):
+        layer = DepthwiseConv2d(3, kernel=3, stride=1, padding=1, rng=RNG)
+        x = RNG.normal(size=(2, 3, 5, 5))
+        check_input_grad(layer, x)
+        check_param_grads(layer, x)
+
+    def test_depthwise_conv_strided(self):
+        layer = DepthwiseConv2d(2, kernel=3, stride=2, padding=1, rng=RNG)
+        x = RNG.normal(size=(1, 2, 6, 6))
+        check_input_grad(layer, x)
+
+    def test_batchnorm(self):
+        layer = BatchNorm2d(3)
+        layer.gamma = RNG.normal(1.0, 0.1, 3).astype(np.float32)
+        layer.beta = RNG.normal(0.0, 0.1, 3).astype(np.float32)
+        x = RNG.normal(size=(4, 3, 3, 3))
+        check_input_grad(layer, x, rtol=5e-2, atol=5e-4)
+        check_param_grads(layer, x, rtol=5e-2, atol=5e-4)
+
+    def test_relu(self):
+        x = RNG.normal(size=(2, 3, 4, 4)) + 0.1  # avoid kink at exactly 0
+        check_input_grad(ReLU(), x)
+
+    def test_relu6(self):
+        x = RNG.normal(size=(2, 3, 4, 4)) * 3.0 + 0.2
+        check_input_grad(ReLU6(), x)
+
+    def test_maxpool(self):
+        layer = MaxPool2d(kernel=2, stride=2)
+        x = RNG.normal(size=(2, 2, 4, 4))
+        check_input_grad(layer, x)
+
+    def test_global_avg_pool(self):
+        x = RNG.normal(size=(2, 3, 4, 4))
+        check_input_grad(GlobalAvgPool(), x)
+
+    def test_flatten(self):
+        x = RNG.normal(size=(2, 3, 2, 2))
+        check_input_grad(Flatten(), x)
+
+    def test_linear(self):
+        layer = Linear(6, 4, rng=RNG)
+        x = RNG.normal(size=(3, 6))
+        check_input_grad(layer, x)
+        check_param_grads(layer, x)
+
+
+class TestCompositeGradients:
+    def test_sequential_chain(self):
+        seq = Sequential(
+            Conv2d(2, 3, kernel=3, padding=1, rng=RNG),
+            ReLU(),
+            Conv2d(3, 2, kernel=1, rng=RNG),
+        )
+        x = RNG.normal(size=(1, 2, 4, 4))
+        check_input_grad(seq, x)
+        check_param_grads(seq, x)
+
+    def test_residual_identity(self):
+        body = Sequential(
+            Conv2d(2, 2, kernel=3, padding=1, rng=RNG),
+            BatchNorm2d(2),
+        )
+        res = Residual(body)
+        x = RNG.normal(size=(2, 2, 4, 4))
+        check_input_grad(res, x, rtol=5e-2, atol=5e-4)
+
+    def test_residual_projection(self):
+        body = Sequential(Conv2d(2, 4, kernel=3, stride=2, padding=1, rng=RNG))
+        shortcut = Sequential(Conv2d(2, 4, kernel=1, stride=2, rng=RNG))
+        res = Residual(body, shortcut)
+        x = RNG.normal(size=(1, 2, 4, 4))
+        check_input_grad(res, x)
+        check_param_grads(res, x)
+
+    def test_linear_residual(self):
+        body = Sequential(Conv2d(2, 2, kernel=1, rng=RNG))
+        res = Residual(body, activation="linear")
+        x = RNG.normal(size=(1, 2, 3, 3))
+        check_input_grad(res, x)
+
+    def test_named_module(self):
+        mod = NamedModule("head", GlobalAvgPool(), Flatten(), Linear(3, 2, rng=RNG))
+        x = RNG.normal(size=(2, 3, 4, 4))
+        check_input_grad(mod, x)
+        check_param_grads(mod, x)
+
+
+class TestLossGradient:
+    def test_softmax_cross_entropy_grad(self):
+        logits = RNG.normal(size=(4, 5))
+        labels = np.array([0, 2, 4, 1])
+        loss, grad = autograd.softmax_cross_entropy_grad(logits, labels)
+        assert loss == pytest.approx(ops.cross_entropy(logits, labels))
+
+        def objective():
+            l, _ = autograd.softmax_cross_entropy_grad(logits, labels)
+            return l
+
+        numeric = numerical_grad(objective, logits)
+        np.testing.assert_allclose(grad, numeric, rtol=2e-2, atol=1e-5)
+
+
+class TestCol2Im:
+    def test_adjoint_of_im2col(self):
+        """<im2col(x), c> == <x, col2im(c)> — the defining adjoint identity."""
+        x = RNG.normal(size=(2, 3, 6, 6))
+        cols, _, _ = ops.im2col(x, kernel=3, stride=2, padding=1)
+        c = RNG.normal(size=cols.shape)
+        lhs = float((cols * c).sum())
+        folded = autograd.col2im(c, x.shape, kernel=3, stride=2, padding=1)
+        rhs = float((x * folded).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)

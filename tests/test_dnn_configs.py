@@ -1,0 +1,106 @@
+"""Unit tests for the Table I configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dnn.configs import STAGE_NAMES, TABLE_I_CONFIGS, BlockConfig, get_config
+
+
+class TestTableIContents:
+    def test_ten_rows(self):
+        assert len(TABLE_I_CONFIGS) == 10
+
+    def test_base_and_pruned_variants(self):
+        for letter in "ABCDE":
+            assert f"CONFIG {letter}" in TABLE_I_CONFIGS
+            assert f"CONFIG {letter}-pruned" in TABLE_I_CONFIGS
+
+    @pytest.mark.parametrize(
+        "name,shared",
+        [
+            ("CONFIG A", 0),
+            ("CONFIG B", 4),
+            ("CONFIG C", 3),
+            ("CONFIG D", 2),
+            ("CONFIG E", 1),
+        ],
+    )
+    def test_shared_block_counts(self, name, shared):
+        assert len(get_config(name).shared_stages) == shared
+
+    def test_config_a_from_scratch(self):
+        assert get_config("CONFIG A").from_scratch
+        assert not get_config("CONFIG B").from_scratch
+
+    def test_pruned_ratio_is_80pct(self):
+        for name, config in TABLE_I_CONFIGS.items():
+            if name.endswith("-pruned"):
+                assert config.prune_ratio == pytest.approx(0.8)
+            else:
+                assert config.prune_ratio == 0.0
+
+
+class TestBlockConfigProperties:
+    def test_trainable_blocks_include_head(self):
+        for config in TABLE_I_CONFIGS.values():
+            assert "head" in config.trainable_blocks
+
+    def test_config_a_trains_everything(self):
+        trainable = get_config("CONFIG A").trainable_blocks
+        assert set(trainable) == {"stem", *STAGE_NAMES, "head"}
+
+    def test_config_b_trains_only_head(self):
+        assert get_config("CONFIG B").trainable_blocks == ("head",)
+
+    def test_prunable_blocks_are_fine_tuned_stages(self):
+        assert get_config("CONFIG C-pruned").prunable_blocks == ("layer4",)
+        assert get_config("CONFIG D-pruned").prunable_blocks == ("layer3", "layer4")
+
+    def test_config_a_pruned_prunes_all_stages(self):
+        assert get_config("CONFIG A-pruned").prunable_blocks == STAGE_NAMES
+
+    def test_pruned_variant_derivation(self):
+        base = get_config("CONFIG C")
+        variant = base.pruned_variant(0.5)
+        assert variant.prune_ratio == 0.5
+        assert variant.name == "CONFIG C-pruned"
+        assert variant.shared_stages == base.shared_stages
+
+    def test_double_pruning_raises(self):
+        with pytest.raises(ValueError):
+            get_config("CONFIG C-pruned").pruned_variant()
+
+
+class TestBlockConfigValidation:
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="both shared and fine-tuned"):
+            BlockConfig(
+                name="bad",
+                description="",
+                shared_stages=("layer1",),
+                fine_tuned_stages=("layer1", "layer2", "layer3", "layer4"),
+            )
+
+    def test_missing_stage_rejected(self):
+        with pytest.raises(ValueError, match="cover all four"):
+            BlockConfig(
+                name="bad",
+                description="",
+                shared_stages=("layer1",),
+                fine_tuned_stages=("layer2",),
+            )
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(ValueError, match="prune_ratio"):
+            BlockConfig(
+                name="bad",
+                description="",
+                shared_stages=(),
+                fine_tuned_stages=STAGE_NAMES,
+                prune_ratio=1.5,
+            )
+
+    def test_unknown_config_lookup(self):
+        with pytest.raises(KeyError, match="unknown config"):
+            get_config("CONFIG Z")

@@ -1,0 +1,234 @@
+"""Unit tests for the object-detection substrate (mAP semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnn.detection import (
+    BoundingBox,
+    Detection,
+    DetectionHead,
+    average_precision,
+    build_detector,
+    decode_predictions,
+    iou,
+    make_detection_dataset,
+    mean_average_precision,
+    nms,
+)
+from repro.dnn.resnet import build_resnet18
+
+
+def box(x0, y0, x1, y1):
+    return BoundingBox(x0, y0, x1, y1)
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        b = box(0, 0, 10, 10)
+        assert iou(b, b) == 1.0
+
+    def test_disjoint_boxes(self):
+        assert iou(box(0, 0, 5, 5), box(6, 6, 10, 10)) == 0.0
+
+    def test_half_overlap(self):
+        # 5x10 intersection over (100 + 100 - 50) union
+        assert iou(box(0, 0, 10, 10), box(5, 0, 15, 10)) == pytest.approx(50 / 150)
+
+    def test_contained_box(self):
+        assert iou(box(0, 0, 10, 10), box(2, 2, 8, 8)) == pytest.approx(36 / 100)
+
+    def test_invalid_box_rejected(self):
+        with pytest.raises(ValueError):
+            box(5, 0, 0, 5)
+
+    @given(
+        st.floats(min_value=0, max_value=20),
+        st.floats(min_value=0, max_value=20),
+        st.floats(min_value=1, max_value=10),
+        st.floats(min_value=1, max_value=10),
+        st.floats(min_value=0, max_value=20),
+        st.floats(min_value=0, max_value=20),
+        st.floats(min_value=1, max_value=10),
+        st.floats(min_value=1, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_iou_properties(self, ax, ay, aw, ah, bx, by, bw, bh):
+        a = box(ax, ay, ax + aw, ay + ah)
+        b = box(bx, by, bx + bw, by + bh)
+        value = iou(a, b)
+        assert 0.0 <= value <= 1.0 + 1e-12
+        assert value == pytest.approx(iou(b, a))  # symmetry
+
+
+class TestNms:
+    def test_suppresses_overlapping_same_class(self):
+        detections = [
+            Detection(box(0, 0, 10, 10), label=0, score=0.9),
+            Detection(box(1, 1, 11, 11), label=0, score=0.8),
+        ]
+        assert len(nms(detections, 0.5)) == 1
+
+    def test_keeps_highest_score(self):
+        detections = [
+            Detection(box(0, 0, 10, 10), label=0, score=0.7),
+            Detection(box(1, 1, 11, 11), label=0, score=0.95),
+        ]
+        kept = nms(detections, 0.5)
+        assert kept[0].score == 0.95
+
+    def test_different_classes_not_suppressed(self):
+        detections = [
+            Detection(box(0, 0, 10, 10), label=0, score=0.9),
+            Detection(box(0, 0, 10, 10), label=1, score=0.8),
+        ]
+        assert len(nms(detections, 0.5)) == 2
+
+    def test_disjoint_boxes_kept(self):
+        detections = [
+            Detection(box(0, 0, 5, 5), label=0, score=0.9),
+            Detection(box(20, 20, 25, 25), label=0, score=0.8),
+        ]
+        assert len(nms(detections, 0.5)) == 2
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            nms([], iou_threshold=1.5)
+
+
+class TestAveragePrecision:
+    def _truth(self):
+        return [[Detection(box(0, 0, 10, 10), label=0)],
+                [Detection(box(5, 5, 15, 15), label=0)]]
+
+    def test_perfect_predictions(self):
+        truth = self._truth()
+        preds = [
+            [Detection(t[0].box, label=0, score=0.9)] for t in truth
+        ]
+        assert average_precision(preds, truth, label=0) == pytest.approx(1.0)
+
+    def test_no_predictions_zero_ap(self):
+        truth = self._truth()
+        assert average_precision([[], []], truth, label=0) == pytest.approx(0.0)
+
+    def test_wrong_location_zero_ap(self):
+        truth = self._truth()
+        preds = [[Detection(box(50, 50, 60, 60), label=0, score=0.9)], []]
+        assert average_precision(preds, truth, label=0) == pytest.approx(0.0)
+
+    def test_absent_class_nan(self):
+        truth = self._truth()
+        assert np.isnan(average_precision([[], []], truth, label=7))
+
+    def test_duplicate_predictions_penalized(self):
+        truth = [[Detection(box(0, 0, 10, 10), label=0)]]
+        one = [[Detection(box(0, 0, 10, 10), label=0, score=0.9)]]
+        duplicated = [[
+            Detection(box(0, 0, 10, 10), label=0, score=0.9),
+            Detection(box(0, 0, 10, 10), label=0, score=0.8),
+        ]]
+        assert average_precision(duplicated, truth, 0) <= average_precision(one, truth, 0)
+
+    def test_mismatched_image_count(self):
+        with pytest.raises(ValueError):
+            average_precision([[]], [[], []], label=0)
+
+    def test_partial_detection_intermediate_ap(self):
+        truth = self._truth()
+        preds = [
+            [Detection(truth[0][0].box, label=0, score=0.9)],
+            [],  # second object missed
+        ]
+        ap = average_precision(preds, truth, label=0)
+        assert 0.0 < ap < 1.0
+
+
+class TestMeanAveragePrecision:
+    def test_averages_over_present_classes(self):
+        truth = [[
+            Detection(box(0, 0, 10, 10), label=0),
+            Detection(box(20, 20, 30, 30), label=1),
+        ]]
+        preds = [[
+            Detection(box(0, 0, 10, 10), label=0, score=0.9),
+            # class 1 missed entirely
+        ]]
+        value = mean_average_precision(preds, truth, num_classes=3)
+        assert value == pytest.approx(0.5)  # (1.0 + 0.0) / 2, class 2 absent
+
+    def test_no_truth_nan(self):
+        assert np.isnan(mean_average_precision([[]], [[]], num_classes=2))
+
+
+class TestDetectionHeadAndDecode:
+    def test_head_output_shape(self):
+        backbone = build_resnet18(num_classes=10, input_size=16, width=8)
+        _, head = build_detector(backbone, num_classes=3)
+        features = backbone.features(np.zeros((2, 3, 16, 16), dtype=np.float32))
+        out = head(features)
+        assert out.shape == (2, 5 + 3, features.shape[2], features.shape[3])
+
+    def test_decode_thresholds_low_scores(self):
+        raw = np.full((1, 5 + 2, 2, 2), -10.0, dtype=np.float32)  # low objectness
+        assert decode_predictions(raw, image_size=16) == [[]]
+
+    def test_decode_emits_confident_cells(self):
+        raw = np.zeros((1, 5 + 2, 2, 2), dtype=np.float32)
+        raw[0, 0, 0, 0] = 10.0  # objectness at one cell
+        raw[0, 5, 0, 0] = 5.0  # class 0 logit
+        detections = decode_predictions(raw, image_size=16, score_threshold=0.5)
+        assert len(detections[0]) == 1
+        det = detections[0][0]
+        assert det.label == 0
+        # the cell (0,0) owns the top-left 8x8 region
+        assert det.box.x_max <= 16.0
+        assert det.box.x_min < 8.0
+
+    def test_decode_validates_channels(self):
+        with pytest.raises(ValueError, match="no class channels"):
+            decode_predictions(np.zeros((1, 5, 2, 2)), image_size=16)
+
+    def test_end_to_end_forward(self):
+        dataset = make_detection_dataset(num_images=2, image_size=16, num_classes=3)
+        backbone = build_resnet18(num_classes=10, input_size=16, width=8)
+        _, head = build_detector(backbone, num_classes=3)
+        features = backbone.features(dataset.images)
+        raw = head(features)
+        detections = decode_predictions(raw, image_size=16, score_threshold=0.0)
+        mAP = mean_average_precision(detections, dataset.annotations, num_classes=3)
+        assert np.isnan(mAP) or 0.0 <= mAP <= 1.0  # untrained: any valid value
+
+
+class TestDetectionDataset:
+    def test_shapes_and_annotations(self):
+        dataset = make_detection_dataset(num_images=4, image_size=24, num_classes=3)
+        assert dataset.images.shape == (4, 3, 24, 24)
+        assert len(dataset.annotations) == 4
+        assert all(len(a) >= 1 for a in dataset.annotations)
+
+    def test_objects_within_bounds(self):
+        dataset = make_detection_dataset(num_images=6, image_size=24, num_classes=3)
+        for annotations in dataset.annotations:
+            for obj in annotations:
+                assert 0 <= obj.box.x_min < obj.box.x_max <= 24
+                assert 0 <= obj.box.y_min < obj.box.y_max <= 24
+
+    def test_object_region_brighter(self):
+        dataset = make_detection_dataset(num_images=1, image_size=24, num_classes=1,
+                                         max_objects=1, seed=3)
+        obj = dataset.annotations[0][0]
+        channel = obj.label % 3
+        image = dataset.images[0, channel]
+        inside = image[
+            int(obj.box.y_min) : int(obj.box.y_max),
+            int(obj.box.x_min) : int(obj.box.x_max),
+        ].mean()
+        assert inside > image.mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_detection_dataset(num_images=0)

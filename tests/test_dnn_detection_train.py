@@ -1,0 +1,138 @@
+"""Tests for detection-head training (targets, loss, trainer)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnn.detection import (
+    BoundingBox,
+    Detection,
+    build_detector,
+    make_detection_dataset,
+)
+from repro.dnn.detection_train import (
+    DetectorTrainer,
+    detection_loss_and_grad,
+    encode_targets,
+)
+from repro.dnn.resnet import build_resnet18
+
+
+def _objects(label: int, x0: float, y0: float, x1: float, y1: float):
+    return [Detection(BoundingBox(x0, y0, x1, y1), label=label)]
+
+
+class TestEncodeTargets:
+    def test_positive_cell_is_object_center(self):
+        annotations = [_objects(1, 8, 8, 16, 16)]  # center (12, 12)
+        targets, positive = encode_targets(annotations, 4, 4, 32, num_classes=2)
+        # cell size 8 -> center cell (1, 1)
+        assert positive[0, 1, 1]
+        assert positive.sum() == 1
+        assert targets[0, 0, 1, 1] == 1.0
+        assert targets[0, 5 + 1, 1, 1] == 1.0
+
+    def test_offsets_invert_decoder(self):
+        """Encoding then decoding the offsets recovers the box."""
+        annotations = [_objects(0, 6, 10, 18, 22)]
+        targets, positive = encode_targets(annotations, 4, 4, 32, num_classes=1)
+        i, j = np.argwhere(positive[0])[0]
+        dx = np.tanh(targets[0, 1, i, j])
+        dy = np.tanh(targets[0, 2, i, j])
+        width = 8 * np.exp(targets[0, 3, i, j])
+        height = 8 * np.exp(targets[0, 4, i, j])
+        center_x = (j + 0.5 + dx) * 8
+        center_y = (i + 0.5 + dy) * 8
+        assert center_x == pytest.approx(12.0, abs=0.2)
+        assert center_y == pytest.approx(16.0, abs=0.2)
+        assert width == pytest.approx(12.0, abs=0.2)
+        assert height == pytest.approx(12.0, abs=0.2)
+
+    def test_edge_object_clamped_to_grid(self):
+        annotations = [_objects(0, 28, 28, 32, 32)]  # center (30, 30)
+        _, positive = encode_targets(annotations, 4, 4, 32, num_classes=1)
+        assert positive[0, 3, 3]
+
+    def test_empty_image_all_negative(self):
+        targets, positive = encode_targets([[]], 4, 4, 32, num_classes=1)
+        assert not positive.any()
+        assert targets.sum() == 0.0
+
+
+class TestDetectionLoss:
+    def _setup(self):
+        annotations = [_objects(0, 8, 8, 16, 16)]
+        targets, positive = encode_targets(annotations, 4, 4, 32, num_classes=2)
+        return targets, positive
+
+    def test_perfect_prediction_low_loss(self):
+        targets, positive = self._setup()
+        raw = targets.copy()
+        raw[:, 0] = np.where(targets[:, 0] > 0, 20.0, -20.0)  # saturated objectness
+        raw[:, 5:] = np.where(targets[:, 5:] > 0, 20.0, -20.0)
+        loss, _ = detection_loss_and_grad(raw, targets, positive)
+        assert loss < 1e-3
+
+    def test_gradient_matches_finite_differences(self):
+        targets, positive = self._setup()
+        rng = np.random.default_rng(0)
+        raw = rng.normal(0.0, 0.5, targets.shape)
+        _, grad = detection_loss_and_grad(raw, targets, positive)
+        eps = 1e-5
+        for index in [(0, 0, 1, 1), (0, 2, 1, 1), (0, 5, 1, 1), (0, 6, 0, 0)]:
+            raw[index] += eps
+            up, _ = detection_loss_and_grad(raw, targets, positive)
+            raw[index] -= 2 * eps
+            down, _ = detection_loss_and_grad(raw, targets, positive)
+            raw[index] += eps
+            numeric = (up - down) / (2 * eps)
+            assert grad[index] == pytest.approx(numeric, rel=1e-3, abs=1e-7)
+
+    def test_box_loss_only_on_positive_cells(self):
+        targets, positive = self._setup()
+        raw = np.zeros_like(targets)
+        raw[:, 1:5] += 5.0  # wrong boxes everywhere
+        _, grad = detection_loss_and_grad(raw, targets, positive)
+        negative_box_grad = grad[:, 1:5][~np.broadcast_to(
+            positive[:, None], grad[:, 1:5].shape
+        )]
+        assert np.allclose(negative_box_grad, 0.0)
+
+
+class TestDetectorTrainer:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        dataset = make_detection_dataset(num_images=24, image_size=32,
+                                         num_classes=2, max_objects=1, seed=0)
+        backbone = build_resnet18(num_classes=10, input_size=32, width=8, seed=0)
+        _, head = build_detector(backbone, num_classes=2, hidden_channels=32)
+        trainer = DetectorTrainer(backbone, head, image_size=32, lr=0.01,
+                                  batch_size=8, seed=0)
+        before = trainer.evaluate_map(dataset)
+        run = trainer.fit(dataset, epochs=50)
+        return dataset, trainer, run, before
+
+    def test_loss_decreases(self, trained):
+        _, _, run, _ = trained
+        assert run.loss[-1] < 0.5 * run.loss[0]
+
+    def test_map_improves_substantially(self, trained):
+        dataset, trainer, run, before = trained
+        final = run.map_history[-1]
+        assert final > before + 0.2
+        assert final > 0.2
+
+    def test_objectness_prior_initialized_negative(self):
+        backbone = build_resnet18(num_classes=10, input_size=16, width=8)
+        _, head = build_detector(backbone, num_classes=2)
+        bias = head.module.layers[-1].bias
+        assert bias[0] == pytest.approx(-2.0)
+
+    def test_invalid_epochs(self):
+        dataset = make_detection_dataset(num_images=2, image_size=16, num_classes=1)
+        backbone = build_resnet18(num_classes=10, input_size=16, width=8)
+        _, head = build_detector(backbone, num_classes=1)
+        trainer = DetectorTrainer(backbone, head, image_size=16)
+        with pytest.raises(ValueError):
+            trainer.fit(dataset, epochs=0)

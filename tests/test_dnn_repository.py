@@ -1,0 +1,129 @@
+"""Unit tests for the DNN repository (profiled configs -> DOT paths)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.catalog import Catalog
+from repro.core.task import QualityLevel, Task
+from repro.dnn.repository import (
+    BLOCK_GROUPS,
+    build_task_paths,
+    profile_table_i,
+)
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    return profile_table_i(width=8, input_size=16, repeats=1)
+
+
+@pytest.fixture(scope="module")
+def quality():
+    return QualityLevel(name="full", bits_per_image=350_000.0)
+
+
+def _task(task_id: int, quality: QualityLevel) -> Task:
+    return Task(
+        task_id=task_id,
+        name=f"t{task_id}",
+        method="classification",
+        priority=0.5,
+        request_rate=5.0,
+        min_accuracy=0.5,
+        max_latency_s=0.5,
+        qualities=(quality,),
+    )
+
+
+class TestProfileTableI:
+    def test_all_ten_configs(self, profiled):
+        assert len(profiled) == 10
+
+    def test_four_groups_each(self, profiled):
+        for pc in profiled.values():
+            assert len(pc.groups) == len(BLOCK_GROUPS) == 4
+
+    def test_config_a_nothing_shared(self, profiled):
+        assert all(not g.shared for g in profiled["CONFIG A"].groups)
+
+    def test_config_b_shares_first_three_groups(self, profiled):
+        shared = [g.shared for g in profiled["CONFIG B"].groups]
+        assert shared == [True, True, True, False]  # g4 carries the head
+
+    def test_shared_groups_cost_zero_training(self, profiled):
+        for pc in profiled.values():
+            for group in pc.groups:
+                if group.shared:
+                    assert group.training_cost_s == 0.0
+                else:
+                    assert group.training_cost_s >= 0.0
+
+    def test_shared_groups_identical_across_configs(self, profiled):
+        """Shared groups must come from a single base measurement."""
+        b_g1 = profiled["CONFIG B"].groups[0]
+        c_g1 = profiled["CONFIG C"].groups[0]
+        assert b_g1.compute_time_s == c_g1.compute_time_s
+        assert b_g1.memory_gb == c_g1.memory_gb
+
+    def test_pruned_configs_cost_less_memory(self, profiled):
+        full = profiled["CONFIG A"].total_memory_gb
+        pruned = profiled["CONFIG A-pruned"].total_memory_gb
+        assert pruned < 0.3 * full
+
+    def test_accuracy_in_unit_interval(self, profiled):
+        for pc in profiled.values():
+            assert 0.0 <= pc.accuracy <= 1.0
+
+    def test_pruned_accuracy_not_higher(self, profiled):
+        for letter in "ABCDE":
+            assert (
+                profiled[f"CONFIG {letter}-pruned"].accuracy
+                <= profiled[f"CONFIG {letter}"].accuracy + 1e-12
+            )
+
+
+class TestBuildTaskPaths:
+    def test_one_path_per_config(self, profiled, quality):
+        paths = build_task_paths(_task(1, quality), profiled, quality)
+        assert len(paths) == 10
+
+    def test_paths_have_four_blocks(self, profiled, quality):
+        for path in build_task_paths(_task(1, quality), profiled, quality):
+            assert len(path.blocks) == 4
+
+    def test_shared_blocks_have_base_ids(self, profiled, quality):
+        paths = {p.path_id: p for p in build_task_paths(_task(1, quality), profiled, quality)}
+        config_b = paths["task1:CONFIG B"]
+        base_blocks = [b for b in config_b.blocks if b.block_id.startswith("base:")]
+        assert len(base_blocks) == 3
+
+    def test_two_tasks_share_base_blocks(self, profiled, quality):
+        catalog = Catalog()
+        for tid in (1, 2):
+            for path in build_task_paths(_task(tid, quality), profiled, quality):
+                catalog.add_path(path)
+        blocks = catalog.all_blocks()
+        # exactly three distinct shared base blocks despite two tasks
+        assert sum(1 for b in blocks if b.startswith("base:")) == 3
+
+    def test_task_specific_blocks_not_shared(self, profiled, quality):
+        paths_1 = build_task_paths(_task(1, quality), profiled, quality)
+        paths_2 = build_task_paths(_task(2, quality), profiled, quality)
+        ids_1 = {b.block_id for p in paths_1 for b in p.blocks if not b.block_id.startswith("base:")}
+        ids_2 = {b.block_id for p in paths_2 for b in p.blocks if not b.block_id.startswith("base:")}
+        assert not ids_1 & ids_2
+
+    def test_scaling_applied(self, profiled, quality):
+        plain = build_task_paths(_task(1, quality), profiled, quality)
+        scaled = build_task_paths(
+            _task(1, quality), profiled, quality, memory_scale=10.0, compute_scale=2.0
+        )
+        for a, b in zip(plain, scaled):
+            assert b.compute_time_s == pytest.approx(2.0 * a.compute_time_s)
+
+    def test_accuracy_offset_clipped(self, profiled, quality):
+        paths = build_task_paths(
+            _task(1, quality), profiled, quality, accuracy_offset=2.0
+        )
+        assert all(p.accuracy == 1.0 for p in paths)

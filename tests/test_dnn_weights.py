@@ -1,0 +1,113 @@
+"""Tests for model weight persistence and block transplantation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnn.resnet import build_resnet18
+from repro.dnn.mobilenet import build_mobilenetv2
+from repro.dnn.weights import (
+    load_state_dict,
+    load_weights,
+    save_weights,
+    state_dict,
+    transplant_block,
+)
+
+
+def _model(seed: int = 0):
+    return build_resnet18(num_classes=5, input_size=16, width=8, seed=seed)
+
+
+class TestStateDict:
+    def test_covers_all_parameters(self):
+        model = _model()
+        state = state_dict(model)
+        total = sum(v.size for v in state.values())
+        assert total == model.param_count()
+
+    def test_round_trip_restores_outputs(self):
+        source = _model(seed=1)
+        target = _model(seed=2)
+        x = np.random.default_rng(0).normal(size=(1, 3, 16, 16)).astype(np.float32)
+        assert not np.allclose(source(x), target(x))
+        load_state_dict(target, state_dict(source))
+        np.testing.assert_allclose(source(x), target(x), rtol=1e-6)
+
+    def test_missing_key_rejected(self):
+        model = _model()
+        state = state_dict(model)
+        key = next(iter(state))
+        partial = {k: v for k, v in state.items() if k != key}
+        with pytest.raises(KeyError, match="missing"):
+            load_state_dict(_model(), partial)
+
+    def test_shape_mismatch_rejected(self):
+        model = _model()
+        state = dict(state_dict(model))
+        key = next(iter(state))
+        state[key] = np.zeros((1, 2, 3))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_state_dict(_model(), state)
+
+    def test_works_for_mobilenet(self):
+        model = build_mobilenetv2(num_classes=5, input_size=16, width_multiplier=0.25)
+        state = state_dict(model)
+        assert sum(v.size for v in state.values()) == model.param_count()
+
+
+class TestFilePersistence:
+    def test_npz_round_trip(self, tmp_path):
+        source = _model(seed=3)
+        path = str(tmp_path / "weights.npz")
+        save_weights(source, path)
+        target = _model(seed=4)
+        load_weights(target, path)
+        x = np.random.default_rng(1).normal(size=(2, 3, 16, 16)).astype(np.float32)
+        np.testing.assert_allclose(source(x), target(x), rtol=1e-6)
+
+
+class TestTransplantBlock:
+    def test_transplanted_block_matches_source(self):
+        source = _model(seed=5)
+        target = _model(seed=6)
+        transplant_block(source, target, "layer3")
+        shape = source.block_input_shape("layer3")
+        x = np.random.default_rng(2).normal(size=(1, *shape)).astype(np.float32)
+        np.testing.assert_allclose(
+            source.blocks["layer3"](x), target.blocks["layer3"](x), rtol=1e-6
+        )
+
+    def test_other_blocks_untouched(self):
+        source = _model(seed=5)
+        target = _model(seed=6)
+        head_before = target.blocks["head"].parameters()[0].copy()
+        transplant_block(source, target, "layer3")
+        np.testing.assert_array_equal(head_before, target.blocks["head"].parameters()[0])
+
+    def test_unknown_block_rejected(self):
+        with pytest.raises(KeyError):
+            transplant_block(_model(), _model(), "layer9")
+
+    def test_incompatible_architectures_rejected(self):
+        resnet = _model()
+        wider = build_resnet18(num_classes=5, input_size=16, width=16)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            transplant_block(resnet, wider, "layer2")
+
+    def test_sharing_workflow(self):
+        """The paper's deployment story: a shared trunk plus transplanted
+        fine-tuned blocks reproduce the fine-tuned model end to end."""
+        base = _model(seed=7)
+        fine_tuned = _model(seed=7)
+        # pretend layer4+head were fine-tuned (perturb them)
+        for name in ("layer4", "head"):
+            for param in fine_tuned.blocks[name].parameters():
+                param += 0.05
+        assembled = _model(seed=7)  # shares the trunk with `base`
+        transplant_block(fine_tuned, assembled, "layer4")
+        transplant_block(fine_tuned, assembled, "head")
+        x = np.random.default_rng(3).normal(size=(1, 3, 16, 16)).astype(np.float32)
+        np.testing.assert_allclose(assembled(x), fine_tuned(x), rtol=1e-5)
+        del base

@@ -1,0 +1,148 @@
+"""Unit tests for the edge platform: pools, VIM and controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import RadioModel
+from repro.edge.controller import OffloaDNNController
+from repro.edge.resources import ComputePool, Gpu, MemoryPool
+from repro.edge.vim import VirtualInfrastructureManager
+from repro.radio.slicing import SliceManager
+from tests.conftest import make_block
+
+
+class TestPools:
+    def test_memory_reserve_release(self):
+        pool = MemoryPool(capacity_gb=4.0)
+        pool.reserve("a", 1.5)
+        assert pool.free_gb == pytest.approx(2.5)
+        pool.release("a")
+        assert pool.free_gb == pytest.approx(4.0)
+
+    def test_memory_overcommit_rejected(self):
+        pool = MemoryPool(capacity_gb=1.0)
+        with pytest.raises(MemoryError):
+            pool.reserve("a", 2.0)
+
+    def test_memory_duplicate_key_rejected(self):
+        pool = MemoryPool(capacity_gb=4.0)
+        pool.reserve("a", 1.0)
+        with pytest.raises(KeyError):
+            pool.reserve("a", 1.0)
+
+    def test_compute_commit_release(self):
+        pool = ComputePool(capacity_s=2.0)
+        pool.commit("t1", 1.5)
+        assert pool.free_s == pytest.approx(0.5)
+        with pytest.raises(RuntimeError):
+            pool.commit("t2", 1.0)
+        pool.release("t1")
+        assert pool.free_s == pytest.approx(2.0)
+
+    def test_gpu_validation(self):
+        with pytest.raises(ValueError):
+            Gpu(gpu_id=0, vram_gb=0.0)
+
+
+class TestVim:
+    def _vim(self) -> VirtualInfrastructureManager:
+        return VirtualInfrastructureManager(
+            gpus=(Gpu(0, vram_gb=4.0, compute_share=1.0), Gpu(1, vram_gb=4.0, compute_share=1.5))
+        )
+
+    def test_pools_aggregate_gpus(self):
+        vim = self._vim()
+        assert vim.memory.capacity_gb == pytest.approx(8.0)
+        assert vim.compute.capacity_s == pytest.approx(2.5)
+
+    def test_shared_block_loaded_once(self):
+        vim = self._vim()
+        block = make_block("shared", memory_gb=1.0)
+        vim.deploy_block(block, task_id=1)
+        vim.deploy_block(block, task_id=2)
+        assert vim.deployed_memory_gb() == pytest.approx(1.0)
+        assert vim.deployments["shared"].reference_count == 2
+
+    def test_release_task_unloads_orphans(self):
+        vim = self._vim()
+        shared = make_block("shared", memory_gb=1.0)
+        own = make_block("own", memory_gb=0.5)
+        vim.deploy_block(shared, 1)
+        vim.deploy_block(shared, 2)
+        vim.deploy_block(own, 1)
+        unloaded = vim.release_task(1)
+        assert unloaded == ["own"]
+        assert vim.is_deployed("shared")
+        vim.release_task(2)
+        assert not vim.is_deployed("shared")
+
+    def test_computing_status_snapshot(self):
+        vim = self._vim()
+        status = vim.computing_status()
+        assert status["memory_free_gb"] == pytest.approx(8.0)
+        vim.deploy_block(make_block("b", memory_gb=2.0), 1)
+        assert vim.computing_status()["memory_free_gb"] == pytest.approx(6.0)
+
+    def test_no_gpus_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualInfrastructureManager(gpus=())
+
+
+class TestController:
+    def _controller(self, problem) -> OffloaDNNController:
+        vim = VirtualInfrastructureManager(
+            gpus=(
+                Gpu(0, vram_gb=problem.budgets.memory_gb,
+                    compute_share=problem.budgets.compute_time_s),
+            )
+        )
+        return OffloaDNNController(
+            vim=vim,
+            slice_manager=SliceManager(capacity_rbs=problem.budgets.radio_blocks),
+            radio=RadioModel(default_bits_per_rb=350_000.0),
+        )
+
+    def test_workflow_admits_and_deploys(self, tiny_problem):
+        controller = self._controller(tiny_problem)
+        tickets = controller.handle_admission_requests(
+            tiny_problem.tasks, tiny_problem.catalog
+        )
+        assert all(t.admitted for t in tickets.values())
+        # the shared block is deployed once
+        assert controller.vim.is_deployed("shared")
+        assert controller.vim.deployments["shared"].reference_count == 3
+        # slices allocated per task
+        assert len(controller.slice_manager.slices) == 3
+
+    def test_tickets_carry_granted_rates(self, tiny_problem):
+        controller = self._controller(tiny_problem)
+        tickets = controller.handle_admission_requests(
+            tiny_problem.tasks, tiny_problem.catalog
+        )
+        for task in tiny_problem.tasks:
+            ticket = tickets[task.task_id]
+            assert ticket.granted_rate == pytest.approx(
+                ticket.admission_ratio * task.request_rate
+            )
+            assert ticket.path_id is not None
+
+    def test_evict_task_frees_resources(self, tiny_problem):
+        controller = self._controller(tiny_problem)
+        controller.handle_admission_requests(tiny_problem.tasks, tiny_problem.catalog)
+        before = controller.vim.deployed_memory_gb()
+        controller.evict_task(0)
+        assert controller.vim.deployed_memory_gb() < before
+        assert 0 not in controller.slice_manager.slices
+
+    def test_consistency_with_solver_solution(self, tiny_problem):
+        controller = self._controller(tiny_problem)
+        tickets = controller.handle_admission_requests(
+            tiny_problem.tasks, tiny_problem.catalog
+        )
+        solution = controller.last_solution
+        assert solution is not None
+        for task in tiny_problem.tasks:
+            assert tickets[task.task_id].admission_ratio == pytest.approx(
+                solution.assignment(task).admission_ratio
+            )

@@ -1,0 +1,205 @@
+"""Unit tests for the discrete-event emulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.task import QualityLevel
+from repro.emulator.lte import TTI_S, LteCell
+from repro.emulator.metrics import LatencyTimeline, moving_average
+from repro.emulator.nodes import EdgeServer, FrameRecord, UserEquipment
+from repro.emulator.simulator import Simulator
+from repro.edge.controller import AdmissionTicket
+from repro.radio.slicing import SliceManager
+from tests.conftest import make_block, make_path, make_task
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.3, lambda: log.append("c"))
+        sim.schedule(0.1, lambda: log.append("a"))
+        sim.schedule(0.2, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.1, lambda: log.append(1))
+        sim.schedule(0.1, lambda: log.append(2))
+        sim.run()
+        assert log == [1, 2]
+
+    def test_run_until_stops(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.1, lambda: log.append(1))
+        sim.schedule(0.5, lambda: log.append(2))
+        sim.run_until(0.2)
+        assert log == [1]
+        assert sim.now == pytest.approx(0.2)
+
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(0.1, lambda: log.append(1))
+        event.cancel()
+        sim.run()
+        assert log == []
+
+    def test_callback_can_schedule_more(self):
+        sim = Simulator()
+        log = []
+
+        def recur():
+            log.append(sim.now)
+            if len(log) < 3:
+                sim.schedule(0.1, recur)
+
+        sim.schedule(0.0, recur)
+        sim.run()
+        assert len(log) == 3
+        assert log[-1] == pytest.approx(0.2)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+
+class TestLteCell:
+    def _cell(self, rbs: int = 5) -> LteCell:
+        mgr = SliceManager(capacity_rbs=100)
+        mgr.allocate(1, rbs, 350_000.0)
+        return LteCell(slice_manager=mgr)
+
+    def test_duration_tti_granular(self):
+        cell = self._cell(rbs=5)
+        # 350 kb over 1.75 Mbps = 200 ms = 200 TTIs exactly
+        assert cell.transmission_duration(1, 350_000.0) == pytest.approx(0.2)
+
+    def test_duration_rounds_up_to_tti(self):
+        cell = self._cell(rbs=5)
+        duration = cell.transmission_duration(1, 100.0)
+        assert duration == TTI_S
+
+    def test_fifo_queueing_on_slice(self):
+        cell = self._cell(rbs=5)
+        first = cell.enqueue_frame(1, 350_000.0, now=0.0)
+        second = cell.enqueue_frame(1, 350_000.0, now=0.0)
+        assert second == pytest.approx(first + 0.2)
+
+    def test_idle_slice_starts_immediately(self):
+        cell = self._cell(rbs=5)
+        cell.enqueue_frame(1, 350_000.0, now=0.0)
+        later = cell.enqueue_frame(1, 350_000.0, now=1.0)
+        assert later == pytest.approx(1.2)
+
+    def test_reset_clears_queues(self):
+        cell = self._cell(rbs=5)
+        cell.enqueue_frame(1, 350_000.0, now=0.0)
+        cell.reset()
+        assert cell.enqueue_frame(1, 350_000.0, now=0.0) == pytest.approx(0.2)
+
+
+class TestMovingAverage:
+    def test_window_one_identity(self):
+        x = np.array([1.0, 5.0, 3.0])
+        np.testing.assert_array_equal(moving_average(x, 1), x)
+
+    def test_window_three(self):
+        x = np.array([3.0, 6.0, 9.0, 12.0])
+        np.testing.assert_allclose(moving_average(x, 3), [3.0, 4.5, 6.0, 9.0])
+
+    def test_empty(self):
+        assert len(moving_average(np.array([]), 3)) == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.array([1.0]), 0)
+
+
+class TestLatencyTimeline:
+    def _records(self):
+        return [
+            FrameRecord(task_id=1, frame_id=0, created_at=0.0, completed_at=0.2),
+            FrameRecord(task_id=1, frame_id=1, created_at=0.2, completed_at=0.5),
+            FrameRecord(task_id=2, frame_id=0, created_at=0.0, completed_at=0.1),
+        ]
+
+    def test_grouping_and_series(self):
+        timeline = LatencyTimeline.from_records(self._records())
+        times, latencies = timeline.series(1, window=1)
+        np.testing.assert_allclose(times, [0.2, 0.5])
+        np.testing.assert_allclose(latencies, [0.2, 0.3])
+
+    def test_max_and_mean(self):
+        timeline = LatencyTimeline.from_records(self._records())
+        assert timeline.max_latency(1) == pytest.approx(0.3)
+        assert timeline.mean_latency(1) == pytest.approx(0.25)
+        assert np.isnan(timeline.max_latency(99))
+
+    def test_violation_fraction(self):
+        timeline = LatencyTimeline.from_records(self._records())
+        assert timeline.violation_fraction(1, limit_s=0.25, window=1) == pytest.approx(0.5)
+        assert timeline.violation_fraction(1, limit_s=1.0, window=1) == 0.0
+
+
+class TestNodes:
+    def _setup(self, rate: float = 5.0, rbs: int = 5):
+        sim = Simulator()
+        mgr = SliceManager(capacity_rbs=100)
+        mgr.allocate(1, rbs, 350_000.0)
+        cell = LteCell(slice_manager=mgr)
+        server = EdgeServer(simulator=sim, compute_jitter=0.0, result_return_s=0.0)
+        quality = QualityLevel("full", 350_000.0)
+        task = make_task(1, request_rate=rate, quality=quality)
+        path = make_path(task, "p", (make_block("b", compute_time_s=0.01),))
+        ticket = AdmissionTicket(
+            task_id=1, admitted=True, admission_ratio=1.0,
+            granted_rate=rate, radio_blocks=rbs, path_id="p",
+        )
+        ue = UserEquipment(simulator=sim, cell=cell, server=server, ticket=ticket, path=path)
+        return sim, server, ue
+
+    def test_frame_count_matches_rate(self):
+        sim, server, ue = self._setup(rate=5.0)
+        ue.start(until=2.0)
+        sim.run()
+        # frames at t = 0, 0.2, ..., 2.0 -> 11 frames
+        assert ue.frames_sent == 11
+        assert len(server.completed) == 11
+
+    def test_latency_composition(self):
+        sim, server, ue = self._setup(rate=1.0, rbs=5)
+        ue.start(until=0.0)  # single frame
+        sim.run()
+        record = server.completed[0]
+        # 0.2 s uplink + 0.01 s compute
+        assert record.end_to_end_latency == pytest.approx(0.21, abs=1e-6)
+
+    def test_rejected_ticket_sends_nothing(self):
+        sim, server, ue = self._setup()
+        ue.ticket = AdmissionTicket(
+            task_id=1, admitted=False, admission_ratio=0.0,
+            granted_rate=0.0, radio_blocks=0, path_id=None,
+        )
+        ue.start(until=2.0)
+        sim.run()
+        assert ue.frames_sent == 0
+
+    def test_server_fifo_queueing(self):
+        sim = Simulator()
+        server = EdgeServer(simulator=sim, compute_jitter=0.0, result_return_s=0.0)
+        quality = QualityLevel("full", 350_000.0)
+        task = make_task(1, quality=quality)
+        path = make_path(task, "p", (make_block("b", compute_time_s=0.1),))
+        r1 = FrameRecord(task_id=1, frame_id=0, created_at=0.0)
+        r2 = FrameRecord(task_id=1, frame_id=1, created_at=0.0)
+        server.submit(r1, path)
+        server.submit(r2, path)
+        sim.run()
+        assert r2.compute_done_at == pytest.approx(r1.compute_done_at + 0.1)

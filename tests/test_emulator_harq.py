@@ -1,0 +1,78 @@
+"""Tests for the HARQ retransmission model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.emulator.lte import TTI_S, HarqConfig, LteCell
+from repro.radio.slicing import SliceManager
+
+
+def _cell(harq: HarqConfig | None, rbs: int = 5) -> LteCell:
+    mgr = SliceManager(capacity_rbs=100)
+    mgr.allocate(1, rbs, 350_000.0)
+    return LteCell(slice_manager=mgr, harq=harq)
+
+
+class TestHarqConfig:
+    def test_zero_error_rate_no_overhead(self):
+        harq = HarqConfig(tti_error_rate=0.0)
+        rng = np.random.default_rng(0)
+        assert harq.transmissions_for(100, rng) == 100
+        assert harq.expected_overhead() == 1.0
+
+    def test_expected_overhead_geometric_sum(self):
+        harq = HarqConfig(tti_error_rate=0.1, max_retransmissions=4)
+        # 1 + 0.1 + 0.01 + 0.001 + 0.0001
+        assert harq.expected_overhead() == pytest.approx(1.1111, rel=1e-3)
+
+    def test_sampled_overhead_near_expectation(self):
+        harq = HarqConfig(tti_error_rate=0.2, max_retransmissions=4, seed=0)
+        rng = np.random.default_rng(0)
+        total = harq.transmissions_for(20_000, rng)
+        assert total / 20_000 == pytest.approx(harq.expected_overhead(), rel=0.02)
+
+    def test_retransmissions_bounded(self):
+        harq = HarqConfig(tti_error_rate=0.9, max_retransmissions=2, seed=0)
+        rng = np.random.default_rng(0)
+        total = harq.transmissions_for(1_000, rng)
+        assert total <= 3 * 1_000  # at most 1 + 2 retransmissions per TTI
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HarqConfig(tti_error_rate=1.0)
+        with pytest.raises(ValueError):
+            HarqConfig(max_retransmissions=-1)
+
+
+class TestHarqInCell:
+    def test_errors_extend_airtime(self):
+        clean = _cell(None)
+        noisy = _cell(HarqConfig(tti_error_rate=0.3, seed=1))
+        base = clean.transmission_duration(1, 350_000.0)
+        samples = [noisy.transmission_duration(1, 350_000.0) for _ in range(5)]
+        assert max(samples) > base
+        assert all(s >= base for s in samples)
+
+    def test_durations_stay_tti_granular(self):
+        noisy = _cell(HarqConfig(tti_error_rate=0.3, seed=2))
+        duration = noisy.transmission_duration(1, 350_000.0)
+        assert duration / TTI_S == pytest.approx(round(duration / TTI_S))
+
+    def test_deterministic_given_seed(self):
+        a = _cell(HarqConfig(tti_error_rate=0.3, seed=5))
+        b = _cell(HarqConfig(tti_error_rate=0.3, seed=5))
+        for _ in range(3):
+            assert a.transmission_duration(1, 350_000.0) == b.transmission_duration(
+                1, 350_000.0
+            )
+
+    def test_mean_inflation_matches_model(self):
+        harq = HarqConfig(tti_error_rate=0.1, max_retransmissions=4, seed=3)
+        cell = _cell(harq)
+        base = _cell(None).transmission_duration(1, 350_000.0)
+        samples = [cell.transmission_duration(1, 350_000.0) for _ in range(200)]
+        assert np.mean(samples) / base == pytest.approx(
+            harq.expected_overhead(), rel=0.01
+        )

@@ -1,0 +1,128 @@
+"""Capstone integration: the complete pipeline, live end to end.
+
+Profiles the DNN substrate for real (no static cost basis), builds a
+DOT catalog from the measurements, solves with both the heuristic and
+the optimum, drives the admitted configuration through the controller
+and the emulator, and verifies the chain's invariants at every step —
+the whole Fig. 4 loop with no canned numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.heuristic import OffloaDNNSolver
+from repro.core.objective import check_constraints, objective_value
+from repro.core.optimal import OptimalSolver
+from repro.core.problem import Budgets, DOTProblem, RadioModel
+from repro.core.serialize import problem_from_dict, problem_to_dict
+from repro.core.task import QualityLevel, Task
+from repro.dnn.repository import build_task_paths, profile_table_i
+from repro.emulator.scenario import EmulationScenario
+
+
+@pytest.fixture(scope="module")
+def live_problem() -> DOTProblem:
+    """A problem whose block costs come from live substrate profiling."""
+    profiled = profile_table_i(width=16, input_size=16, repeats=2, seed=0)
+    quality = QualityLevel("full", 350_000.0)
+    tasks = tuple(
+        Task(
+            task_id=i,
+            name=f"live-{i}",
+            method="classification",
+            priority=1.0 - 0.2 * (i - 1),
+            request_rate=4.0,
+            min_accuracy=0.55,
+            max_latency_s=0.4,
+            qualities=(quality,),
+        )
+        for i in (1, 2, 3)
+    )
+    from repro.core.catalog import Catalog
+
+    catalog = Catalog()
+    for task in tasks:
+        # scale profiled CPU costs into edge-server magnitudes
+        for path in build_task_paths(
+            task, profiled, quality, memory_scale=50.0, compute_scale=1.0
+        ):
+            catalog.add_path(path)
+    return DOTProblem(
+        tasks=tasks,
+        catalog=catalog,
+        budgets=Budgets(
+            compute_time_s=2.5, training_budget_s=1000.0, memory_gb=8.0,
+            radio_blocks=100,
+        ),
+        radio=RadioModel(default_bits_per_rb=350_000.0),
+    )
+
+
+class TestFullStack:
+    def test_catalog_built_from_measurements(self, live_problem):
+        blocks = live_problem.catalog.all_blocks()
+        assert all(b.compute_time_s > 0 for b in blocks.values())
+        shared = [b for b in blocks.values() if b.block_id.startswith("base:")]
+        assert len(shared) == 3  # g1..g3 of the shared trunk
+
+    def test_heuristic_and_optimum_agree_on_admission(self, live_problem):
+        heuristic = OffloaDNNSolver().solve(live_problem)
+        optimal = OptimalSolver().solve(live_problem)
+        assert check_constraints(live_problem, heuristic).feasible
+        assert check_constraints(live_problem, optimal).feasible
+        assert heuristic.weighted_admission_ratio == pytest.approx(
+            optimal.weighted_admission_ratio, abs=1e-6
+        )
+        assert objective_value(live_problem, optimal) <= objective_value(
+            live_problem, heuristic
+        ) + 1e-9
+
+    def test_emulation_respects_live_costs(self, live_problem):
+        """The emulator's compute times come straight from the profiled
+        paths; the run must stay within every admitted task's limit."""
+        scenario = EmulationScenario(problem=live_problem, duration_s=6.0,
+                                     compute_jitter=0.02, seed=0)
+        result = scenario.run(solver=OffloaDNNSolver(slice_margin_rbs=1))
+        admitted = [t for t in result.tickets.values() if t.admitted]
+        assert admitted
+        assert result.all_within_limits(live_problem)
+        stats = result.statistics(live_problem)
+        for ticket in admitted:
+            entry = stats[ticket.task_id]
+            assert entry.frames > 10
+            assert entry.deadline_miss_fraction == 0.0
+
+    def test_serialization_survives_the_pipeline(self, live_problem):
+        """Live-profiled problems round-trip through JSON and solve to
+        the same decisions."""
+        restored = problem_from_dict(problem_to_dict(live_problem))
+        a = OffloaDNNSolver().solve(live_problem)
+        b = OffloaDNNSolver().solve(restored)
+        for task in live_problem.tasks:
+            assert (
+                a.assignment(task).path.path_id == b.assignment(task).path.path_id
+            )
+
+    def test_profiled_costs_propagate_to_latency(self, live_problem):
+        """End-to-end latency in the emulator decomposes into the
+        transmission time implied by the slice plus the profiled compute
+        time (within jitter)."""
+        scenario = EmulationScenario(problem=live_problem, duration_s=4.0,
+                                     compute_jitter=0.0, seed=1)
+        result = scenario.run(solver=OffloaDNNSolver(slice_margin_rbs=1))
+        solution_paths = {}
+        for task in live_problem.tasks:
+            ticket = result.tickets[task.task_id]
+            if not ticket.admitted:
+                continue
+            stats = result.statistics(live_problem)[task.task_id]
+            # compute component ~= profiled path compute (+2 ms return)
+            path_id = ticket.path_id
+            paths = live_problem.catalog.paths_for(task)
+            path = next(p for p in paths if p.path_id == path_id.split("@")[0])
+            solution_paths[task.task_id] = path
+            assert stats.mean_compute_s == pytest.approx(
+                path.compute_time_s, rel=0.25, abs=0.01
+            )

@@ -1,0 +1,146 @@
+"""Focused tests for smaller behaviours not covered elsewhere."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import Catalog
+from repro.core.problem import Budgets, DOTProblem, RadioModel
+from repro.core.objective import objective_breakdown
+from repro.core.subproblem import BranchAllocation, BranchItem, solve_branch
+from repro.core.task import QualityLevel
+from repro.core.tree import build_tree
+from repro.emulator.lte import HarqConfig
+from repro.emulator.scenario import EmulationScenario
+from repro.workloads.smallscale import small_scale_problem
+from tests.conftest import make_block, make_path, make_task
+
+
+class TestBranchAllocationValidation:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BranchAllocation(admission=[1.0], radio_blocks=[1, 2])
+
+
+class TestPerTaskRadioRates:
+    def test_weaker_channel_needs_more_rbs(self):
+        """Two identical tasks with different B(σ): the weaker link's
+        slice must be larger for the same rate."""
+        quality = QualityLevel("full", 350_000.0)
+        strong = make_task(1, quality=quality)
+        weak = make_task(2, quality=quality)
+        items = [
+            BranchItem(
+                task=strong,
+                path=make_path(strong, "p1", (make_block("b1", compute_time_s=0.005),)),
+                bits_per_rb=350_000.0,
+            ),
+            BranchItem(
+                task=weak,
+                path=make_path(weak, "p2", (make_block("b2", compute_time_s=0.005),)),
+                bits_per_rb=175_000.0,  # half the per-RB capacity
+            ),
+        ]
+        budgets = Budgets(compute_time_s=2.5, training_budget_s=1000.0,
+                          memory_gb=8.0, radio_blocks=50)
+        allocation = solve_branch(items, budgets)
+        assert allocation.admission == [1.0, 1.0]
+        assert allocation.radio_blocks[1] >= 2 * allocation.radio_blocks[0] - 1
+
+    def test_radio_model_feeds_tree_vertices(self):
+        quality = QualityLevel("full", 350_000.0)
+        task = make_task(1, quality=quality)
+        catalog = Catalog()
+        catalog.add_path(make_path(task, "p", (make_block("b"),), accuracy=0.9))
+        problem = DOTProblem(
+            tasks=(task,),
+            catalog=catalog,
+            budgets=Budgets(2.5, 1000.0, 8.0, 50),
+            radio=RadioModel(
+                default_bits_per_rb=350_000.0, per_task_bits_per_rb={1: 999_000.0}
+            ),
+        )
+        tree = build_tree(problem)
+        assert tree.cliques[0].vertices[0].bits_per_rb == 999_000.0
+
+
+class TestTreeInspection:
+    def test_tasks_without_options_listed(self):
+        task = make_task(1, min_accuracy=0.99)
+        catalog = Catalog()
+        catalog.add_path(make_path(task, "p", (make_block("b"),), accuracy=0.5))
+        problem = DOTProblem(
+            tasks=(task,), catalog=catalog, budgets=Budgets(2.5, 1000.0, 8.0, 50),
+            radio=RadioModel(default_bits_per_rb=350_000.0),
+        )
+        tree = build_tree(problem)
+        assert tree.tasks_without_options() == [task]
+
+    def test_clique_len(self, tiny_problem):
+        tree = build_tree(tiny_problem)
+        assert all(len(clique) == 2 for clique in tree.cliques)
+
+
+class TestObjectiveBreakdownResource:
+    def test_resource_is_sum_of_non_rejection_terms(self, tiny_problem):
+        from repro.core.heuristic import OffloaDNNSolver
+
+        solution = OffloaDNNSolver().solve(tiny_problem)
+        breakdown = objective_breakdown(tiny_problem, solution)
+        assert breakdown.resource == pytest.approx(
+            breakdown.training + breakdown.radio + breakdown.inference
+        )
+
+
+class TestHarqEndToEnd:
+    def test_harq_inflates_scenario_latency(self):
+        """A full emulation with 10% TTI errors: mean latency rises by
+        roughly the expected HARQ overhead (~11% on the airtime)."""
+        problem = small_scale_problem(2, seed=0)
+        from repro.core.heuristic import OffloaDNNSolver
+        from repro.edge.controller import OffloaDNNController
+        from repro.edge.resources import Gpu
+        from repro.edge.vim import VirtualInfrastructureManager
+        from repro.emulator.lte import LteCell
+        from repro.radio.slicing import SliceManager
+
+        def run(harq):
+            scenario = EmulationScenario(problem=problem, duration_s=5.0,
+                                         compute_jitter=0.0, seed=0)
+            # monkey-wire HARQ by running the scenario manually
+            budgets = problem.budgets
+            vim = VirtualInfrastructureManager(
+                gpus=(Gpu(0, vram_gb=budgets.memory_gb,
+                          compute_share=budgets.compute_time_s),)
+            )
+            mgr = SliceManager(capacity_rbs=budgets.radio_blocks)
+            controller = OffloaDNNController(
+                vim=vim, slice_manager=mgr, radio=problem.radio,
+                solver=OffloaDNNSolver(slice_margin_rbs=1),
+            )
+            tickets = controller.handle_admission_requests(
+                problem.tasks, problem.catalog
+            )
+            from repro.emulator.nodes import EdgeServer, UserEquipment
+            from repro.emulator.simulator import Simulator
+            from repro.emulator.metrics import LatencyTimeline
+
+            sim = Simulator()
+            cell = LteCell(slice_manager=mgr, harq=harq)
+            server = EdgeServer(simulator=sim, compute_jitter=0.0)
+            for task in problem.tasks:
+                assignment = controller.last_solution.assignment(task)
+                ue = UserEquipment(simulator=sim, cell=cell, server=server,
+                                   ticket=tickets[task.task_id],
+                                   path=assignment.path)
+                ue.start(until=5.0)
+            sim.run()
+            timeline = LatencyTimeline.from_records(server.completed)
+            del scenario
+            return np.mean([timeline.mean_latency(t.task_id) for t in problem.tasks])
+
+        clean = run(None)
+        noisy = run(HarqConfig(tti_error_rate=0.1, seed=1))
+        assert noisy > clean
+        assert noisy < 1.5 * clean  # bounded inflation, no runaway queue

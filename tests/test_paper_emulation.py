@@ -1,0 +1,66 @@
+"""Integration tests: the Colosseum-substitute emulation (Fig. 11)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.emulator.scenario import EmulationScenario, run_small_scale_emulation
+from repro.workloads.smallscale import small_scale_problem
+
+
+@pytest.fixture(scope="module")
+def emulation():
+    return run_small_scale_emulation(num_tasks=5, duration_s=20.0, seed=0)
+
+
+class TestFig11:
+    def test_all_five_tasks_admitted(self, emulation):
+        _, result = emulation
+        assert sum(1 for t in result.tickets.values() if t.admitted) == 5
+
+    def test_latencies_within_targets(self, emulation):
+        """The Fig. 11 validation: smoothed end-to-end latency stays
+        within each task's constraint for the whole run."""
+        problem, result = emulation
+        assert result.all_within_limits(problem)
+
+    def test_every_task_produces_samples(self, emulation):
+        problem, result = emulation
+        for task in problem.tasks:
+            times, latencies = result.timeline.series(task.task_id)
+            assert len(times) > 50  # ~5 req/s for 20 s
+            assert np.isfinite(latencies).all()
+
+    def test_latency_reflects_slice_size(self, emulation):
+        """Transmission dominates: tasks with fewer RBs see higher
+        latency components."""
+        problem, result = emulation
+        tickets = result.tickets
+        means = {
+            t.task_id: result.timeline.mean_latency(t.task_id) for t in problem.tasks
+        }
+        # task 1 has the tightest limit and the largest slice
+        assert tickets[1].radio_blocks >= max(
+            tickets[t.task_id].radio_blocks for t in problem.tasks[1:]
+        )
+        assert all(np.isfinite(v) for v in means.values())
+
+    def test_deterministic_arrivals_reproducible(self):
+        _, a = run_small_scale_emulation(num_tasks=2, duration_s=5.0, seed=7)
+        _, b = run_small_scale_emulation(num_tasks=2, duration_s=5.0, seed=7)
+        ta, la = a.timeline.series(1)
+        tb, lb = b.timeline.series(1)
+        np.testing.assert_array_equal(ta, tb)
+        np.testing.assert_array_equal(la, lb)
+
+    def test_poisson_mode_runs(self):
+        problem = small_scale_problem(2, seed=0)
+        scenario = EmulationScenario(problem=problem, duration_s=5.0,
+                                     poisson_arrivals=True, seed=3)
+        result = scenario.run()
+        assert result.timeline.records_by_task
+
+    def test_events_processed_positive(self, emulation):
+        _, result = emulation
+        assert result.events_processed > 100

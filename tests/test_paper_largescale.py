@@ -1,0 +1,157 @@
+"""Integration tests: the large-scale evaluation (Figs. 9-10, headline).
+
+Asserts the published qualitative shapes: OffloaDNN admits more tasks
+than SEM-O-RAN at every load, saves the bulk of memory and inference
+compute, saturates the RB pool as rates grow, and degrades admission
+gracefully (full ratios for top priorities, diminishing ratios, then
+rejections) at high load.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import fig10_largescale_comparison, headline_comparison
+from repro.baselines.semoran import SemORANSolver
+from repro.core.heuristic import OffloaDNNSolver
+from repro.core.objective import check_constraints, objective_value
+from repro.workloads.largescale import RequestRate, large_scale_problem
+
+
+@pytest.fixture(scope="module")
+def solved():
+    out = {}
+    for rate in RequestRate:
+        problem = large_scale_problem(rate, seed=0)
+        out[rate] = (
+            problem,
+            OffloaDNNSolver().solve(problem),
+            SemORANSolver().solve(problem),
+        )
+    return out
+
+
+class TestFig9AdmissionShapes:
+    def test_low_rate_all_admitted(self, solved):
+        _, offloadnn, semoran = solved[RequestRate.LOW]
+        assert offloadnn.admitted_task_count == 20
+        assert all(
+            a.admission_ratio == pytest.approx(1.0)
+            for a in offloadnn.assignments.values()
+        )
+        assert semoran.admitted_task_count == 16
+
+    def test_medium_rate_nearly_all_admitted(self, solved):
+        _, offloadnn, semoran = solved[RequestRate.MEDIUM]
+        ratios = offloadnn.admission_vector()
+        fully = sum(1 for z in ratios.values() if z >= 0.99)
+        assert fully >= 19
+        assert semoran.admitted_task_count == 16
+
+    def test_high_rate_graceful_degradation(self, solved):
+        """Top-priority tasks fully admitted, then diminishing ratios,
+        then rejections (the Fig. 9-bottom staircase)."""
+        _, offloadnn, _ = solved[RequestRate.HIGH]
+        ratios = [offloadnn.assignment(t).admission_ratio for t in range(1, 21)]
+        # top 10 fully admitted
+        assert all(z == pytest.approx(1.0) for z in ratios[:10])
+        # at least one partially admitted task exists
+        assert any(0.0 < z < 1.0 for z in ratios)
+        # the lowest-priority tasks are rejected
+        assert ratios[-1] == 0.0
+        # ratios are non-increasing with task id (priority order)
+        assert all(a >= b - 1e-9 for a, b in zip(ratios, ratios[1:]))
+
+    def test_semoran_binary_staircase(self, solved):
+        for rate in RequestRate:
+            _, _, semoran = solved[rate]
+            ratios = [semoran.assignment(t).admission_ratio for t in range(1, 21)]
+            assert set(ratios) <= {0.0, 1.0}
+            # prefix property: a rejected task is never followed by an
+            # admitted one under value-greedy admission with uniform costs
+            first_zero = ratios.index(0.0) if 0.0 in ratios else len(ratios)
+            assert all(z == 0.0 for z in ratios[first_zero:])
+
+
+class TestFig10ResourceShapes:
+    def test_offloadnn_admits_more_at_every_rate(self, solved):
+        for rate in RequestRate:
+            _, offloadnn, semoran = solved[rate]
+            assert offloadnn.admitted_task_count > semoran.admitted_task_count
+            assert (
+                offloadnn.weighted_admission_ratio
+                >= semoran.weighted_admission_ratio - 1e-9
+            )
+
+    def test_rb_saving_at_low_rate(self, solved):
+        """OffloaDNN leaves ~1/3 of the pool free at low rate while
+        SEM-O-RAN's balanced allocation uses it all."""
+        problem, offloadnn, semoran = solved[RequestRate.LOW]
+        off_frac = offloadnn.total_radio_blocks / problem.budgets.radio_blocks
+        sem_frac = semoran.total_radio_blocks / problem.budgets.radio_blocks
+        assert off_frac < 0.75
+        assert sem_frac > 0.95
+
+    def test_rb_saturation_as_rate_grows(self, solved):
+        fractions = []
+        for rate in RequestRate:
+            problem, offloadnn, _ = solved[rate]
+            fractions.append(
+                offloadnn.total_radio_blocks / problem.budgets.radio_blocks
+            )
+        assert fractions[0] < fractions[1] <= fractions[2] + 1e-9
+        assert fractions[2] > 0.95
+
+    def test_memory_saving_majority(self, solved):
+        """Fig. 10 center-right: block shaping/sharing saves >70% memory."""
+        for rate in RequestRate:
+            _, offloadnn, semoran = solved[rate]
+            assert offloadnn.total_memory_gb < 0.3 * semoran.total_memory_gb
+
+    def test_memory_constant_low_medium_lower_high(self, solved):
+        """The paper: same memory at low/medium (same branch); less at
+        high because rejected tasks deploy no blocks."""
+        mem = {
+            rate: solved[rate][1].total_memory_gb for rate in RequestRate
+        }
+        assert mem[RequestRate.LOW] == pytest.approx(mem[RequestRate.MEDIUM], rel=0.01)
+        assert mem[RequestRate.HIGH] < mem[RequestRate.LOW]
+
+    def test_inference_compute_saving_majority(self, solved):
+        for rate in RequestRate:
+            _, offloadnn, semoran = solved[rate]
+            assert (
+                offloadnn.total_inference_compute_s
+                < 0.35 * semoran.total_inference_compute_s
+            )
+
+    def test_dot_cost_rises_with_rate(self, solved):
+        costs = []
+        for rate in RequestRate:
+            problem, offloadnn, _ = solved[rate]
+            costs.append(objective_value(problem, offloadnn))
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_all_solutions_feasible(self, solved):
+        for rate in RequestRate:
+            problem, offloadnn, semoran = solved[rate]
+            assert check_constraints(problem, offloadnn).feasible
+            assert check_constraints(problem, semoran).feasible
+
+
+class TestHeadlineNumbers:
+    def test_headline_ranges(self):
+        """The paper reports +26.9% tasks, -82.5% memory, -77.4% compute,
+        -4.4% radio; our substrate reproduces the same magnitudes."""
+        headline = headline_comparison(seed=0)
+        assert 15.0 < headline["admitted_tasks_gain_pct"] < 40.0
+        assert 70.0 < headline["memory_saving_pct"] < 95.0
+        assert 65.0 < headline["inference_compute_saving_pct"] < 90.0
+        assert 0.0 < headline["radio_saving_pct"] < 25.0
+
+    def test_fig10_data_complete(self):
+        data = fig10_largescale_comparison(seed=0)
+        assert set(data) == {"low", "medium", "high"}
+        for metrics in data.values():
+            assert metrics["offloadnn_memory_fraction"] <= 1.0
+            assert metrics["semoran_memory_fraction"] <= 1.0

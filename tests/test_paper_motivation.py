@@ -1,0 +1,120 @@
+"""Integration tests: the Sec. II motivating experiments (Figs. 2-3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import fig2_training_curves, fig3_pruning_effects
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    # full width so that activation storage (not the fixed framework
+    # overhead) dominates the training-memory comparison, as on a GPU
+    return fig2_training_curves(epochs=250, width=64, input_size=32)
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    # width 32 gives wall-clock margins comfortably above scheduler
+    # noise while keeping the fixture under ~10 s
+    return fig3_pruning_effects(width=32, input_size=16, repeats=3)
+
+
+class TestFig2Left:
+    def test_config_a_needs_over_200_epochs_for_80pct(self, fig2):
+        assert fig2["CONFIG A"]["epochs_to_80pct"] > 200
+
+    def test_b_and_c_converge_fast(self, fig2):
+        assert fig2["CONFIG B"]["epochs_to_80pct"] < 60
+        assert fig2["CONFIG C"]["epochs_to_80pct"] < 80
+
+    def test_c_outperforms_d_and_e_in_convergence(self, fig2):
+        assert fig2["CONFIG C"]["epochs_to_80pct"] < fig2["CONFIG D"]["epochs_to_80pct"]
+        assert fig2["CONFIG D"]["epochs_to_80pct"] < fig2["CONFIG E"]["epochs_to_80pct"]
+
+    def test_b_overfits_below_its_peak(self, fig2):
+        curve = fig2["CONFIG B"]["accuracy_curve"]
+        assert curve[-1] < max(curve) - 0.01
+
+    def test_curves_have_requested_length(self, fig2):
+        for data in fig2.values():
+            assert len(data["accuracy_curve"]) == 250
+
+
+class TestFig2Right:
+    def test_a_uses_most_training_memory(self, fig2):
+        peaks = {name: d["peak_memory_mib"] for name, d in fig2.items()}
+        assert peaks["CONFIG A"] == max(peaks.values())
+
+    def test_b_roughly_half_of_a(self, fig2):
+        """The paper highlights ~1.8x less memory for CONFIG B vs A."""
+        ratio = fig2["CONFIG A"]["peak_memory_mib"] / fig2["CONFIG B"]["peak_memory_mib"]
+        assert 1.3 < ratio < 3.0
+
+    def test_memory_ordering_b_c_lowest(self, fig2):
+        peaks = {name: d["peak_memory_mib"] for name, d in fig2.items()}
+        ordered = sorted(peaks, key=peaks.get)
+        assert ordered[:2] == ["CONFIG B", "CONFIG C"]
+
+
+class TestFig3Left:
+    def test_pruning_reduces_compute_time_where_blocks_prunable(self, fig3):
+        """A/C/D/E-pruned run faster than their unpruned versions
+        (B-pruned prunes nothing structural, Table I)."""
+        for letter in "ACDE":
+            assert (
+                fig3[f"CONFIG {letter}-pruned"]["inference_time_ms"]
+                < fig3[f"CONFIG {letter}"]["inference_time_ms"]
+            )
+
+    def test_a_pruned_fastest_of_pruned_set(self, fig3):
+        pruned_times = {
+            name: d["inference_time_ms"]
+            for name, d in fig3.items()
+            if name.endswith("-pruned")
+        }
+        assert min(pruned_times, key=pruned_times.get) == "CONFIG A-pruned"
+
+    def test_b_pruned_slowest_of_pruned_set(self, fig3):
+        """B-pruned keeps the most full blocks, hence the most parameters
+        and the longest inference among pruned configurations."""
+        pruned_times = {
+            name: d["inference_time_ms"]
+            for name, d in fig3.items()
+            if name.endswith("-pruned")
+        }
+        assert max(pruned_times, key=pruned_times.get) == "CONFIG B-pruned"
+
+    def test_param_ordering_among_pruned(self, fig3):
+        assert (
+            fig3["CONFIG A-pruned"]["params"]
+            < fig3["CONFIG D-pruned"]["params"]
+            < fig3["CONFIG C-pruned"]["params"]
+            <= fig3["CONFIG B-pruned"]["params"]
+        )
+
+
+class TestFig3Right:
+    def test_pruning_costs_accuracy(self, fig3):
+        for letter in "ABCDE":
+            assert (
+                fig3[f"CONFIG {letter}-pruned"]["class_accuracy"]
+                <= fig3[f"CONFIG {letter}"]["class_accuracy"] + 1e-12
+            )
+
+    def test_b_pruned_best_accuracy_of_pruned_set(self, fig3):
+        """Most blocks inherited from the base DNN -> best post-pruning
+        accuracy (the paper's observation)."""
+        pruned_acc = {
+            name: d["class_accuracy"]
+            for name, d in fig3.items()
+            if name.endswith("-pruned")
+        }
+        assert max(pruned_acc, key=pruned_acc.get) == "CONFIG B-pruned"
+
+    def test_accuracies_in_plausible_band(self, fig3):
+        for name, d in fig3.items():
+            if name.endswith("-pruned") or name == "CONFIG A":
+                continue
+            assert 0.6 < d["class_accuracy"] < 0.95

@@ -1,0 +1,168 @@
+"""Property-based invariants on randomly generated DOT problems.
+
+Hypothesis generates random problem instances (tasks, catalogs with a
+mix of shared and dedicated blocks, budgets) and checks the solver
+contracts that must hold universally:
+
+* every solver output satisfies constraints (1b)-(1g);
+* the optimum's objective never exceeds the heuristic's;
+* block sharing can only reduce total memory vs dedicated deployment;
+* admission ratios are monotone non-increasing in scarcity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.semoran import SemORANSolver
+from repro.core.catalog import Block, Catalog, Path
+from repro.core.heuristic import OffloaDNNSolver
+from repro.core.objective import check_constraints, objective_value
+from repro.core.optimal import OptimalSolver
+from repro.core.problem import Budgets, DOTProblem, RadioModel
+from repro.core.task import QualityLevel, Task
+
+
+@st.composite
+def dot_problems(draw) -> DOTProblem:
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    num_tasks = draw(st.integers(min_value=1, max_value=4))
+    paths_per_task = draw(st.integers(min_value=1, max_value=3))
+    rng = np.random.default_rng(seed)
+    quality = QualityLevel("q", bits_per_image=float(rng.uniform(5e4, 5e5)))
+
+    tasks = tuple(
+        Task(
+            task_id=i,
+            name=f"t{i}",
+            method="cls",
+            priority=float(rng.uniform(0.05, 1.0)),
+            request_rate=float(rng.uniform(0.5, 10.0)),
+            min_accuracy=float(rng.uniform(0.3, 0.9)),
+            max_latency_s=float(rng.uniform(0.05, 1.0)),
+            qualities=(quality,),
+        )
+        for i in range(num_tasks)
+    )
+    shared = Block(
+        block_id="shared",
+        dnn_id="base",
+        compute_time_s=float(rng.uniform(0.001, 0.02)),
+        memory_gb=float(rng.uniform(0.1, 1.0)),
+        training_cost_s=0.0,
+    )
+    catalog = Catalog()
+    for task in tasks:
+        for j in range(paths_per_task):
+            own = Block(
+                block_id=f"own-{task.task_id}-{j}",
+                dnn_id=f"dnn-{task.task_id}-{j}",
+                compute_time_s=float(rng.uniform(0.001, 0.05)),
+                memory_gb=float(rng.uniform(0.05, 2.0)),
+                training_cost_s=float(rng.uniform(0.0, 100.0)),
+            )
+            blocks = (shared, own) if rng.uniform() < 0.5 else (own,)
+            catalog.add_path(
+                Path(
+                    path_id=f"p-{task.task_id}-{j}",
+                    dnn_id=own.dnn_id,
+                    task_id=task.task_id,
+                    blocks=blocks,
+                    accuracy=float(rng.uniform(0.4, 1.0)),
+                    quality=quality,
+                )
+            )
+    budgets = Budgets(
+        compute_time_s=float(rng.uniform(0.5, 5.0)),
+        training_budget_s=1000.0,
+        memory_gb=float(rng.uniform(1.0, 10.0)),
+        radio_blocks=int(rng.integers(5, 100)),
+    )
+    return DOTProblem(
+        tasks=tasks,
+        catalog=catalog,
+        budgets=budgets,
+        radio=RadioModel(default_bits_per_rb=float(rng.uniform(1e5, 1e6))),
+        alpha=float(rng.uniform(0.0, 1.0)),
+    )
+
+
+@given(dot_problems())
+@settings(max_examples=40, deadline=None)
+def test_heuristic_always_feasible(problem):
+    solution = OffloaDNNSolver().solve(problem)
+    report = check_constraints(problem, solution)
+    assert report.feasible, report.violations
+
+
+@given(dot_problems())
+@settings(max_examples=25, deadline=None)
+def test_optimal_always_feasible_and_no_worse(problem):
+    heuristic = OffloaDNNSolver().solve(problem)
+    optimal = OptimalSolver().solve(problem)
+    assert check_constraints(problem, optimal).feasible
+    assert objective_value(problem, optimal) <= objective_value(problem, heuristic) + 1e-9
+
+
+@given(dot_problems())
+@settings(max_examples=25, deadline=None)
+def test_semoran_always_feasible(problem):
+    solution = SemORANSolver().solve(problem)
+    report = check_constraints(problem, solution)
+    assert report.feasible, report.violations
+
+
+@given(dot_problems())
+@settings(max_examples=25, deadline=None)
+def test_shared_memory_never_exceeds_dedicated_sum(problem):
+    """Counting shared blocks once is never worse than per-task copies."""
+    solution = OffloaDNNSolver().solve(problem)
+    dedicated = sum(
+        sum(b.memory_gb for b in a.path.blocks)
+        for a in solution.admitted_assignments()
+    )
+    assert solution.total_memory_gb <= dedicated + 1e-9
+
+
+@given(dot_problems())
+@settings(max_examples=20, deadline=None)
+def test_admission_monotone_in_radio_budget(problem):
+    """Doubling the radio pool never decreases weighted admission."""
+    from dataclasses import replace
+
+    solution = OffloaDNNSolver().solve(problem)
+    bigger = DOTProblem(
+        tasks=problem.tasks,
+        catalog=problem.catalog,
+        budgets=replace(problem.budgets, radio_blocks=problem.budgets.radio_blocks * 2),
+        radio=problem.radio,
+        alpha=problem.alpha,
+    )
+    bigger_solution = OffloaDNNSolver().solve(bigger)
+    assert (
+        bigger_solution.weighted_admission_ratio
+        >= solution.weighted_admission_ratio - 1e-9
+    )
+
+
+@given(dot_problems())
+@settings(max_examples=25, deadline=None)
+def test_rejected_tasks_consume_nothing(problem):
+    solution = OffloaDNNSolver().solve(problem)
+    for assignment in solution.assignments.values():
+        if not assignment.admitted:
+            assert assignment.radio_blocks == 0
+            assert assignment.admitted_rate == 0.0
+
+
+@given(dot_problems())
+@settings(max_examples=25, deadline=None)
+def test_admitted_paths_meet_accuracy(problem):
+    solution = OffloaDNNSolver().solve(problem)
+    for assignment in solution.admitted_assignments():
+        assert (
+            assignment.path.effective_accuracy
+            >= assignment.task.min_accuracy - 1e-9
+        )

@@ -1,0 +1,94 @@
+"""Tests for multi-architecture DNN families in the workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristic import OffloaDNNSolver
+from repro.core.objective import check_constraints
+from repro.core.problem import Budgets, DOTProblem, RadioModel
+from repro.workloads.generator import (
+    DNNFamily,
+    ScenarioCatalogBuilder,
+    mobilenet_family_from_profiler,
+)
+from tests.conftest import make_task
+
+
+@pytest.fixture(scope="module")
+def mobilenet_family() -> DNNFamily:
+    return mobilenet_family_from_profiler(repeats=1, input_size=16,
+                                          width_multiplier=0.25)
+
+
+class TestMobilenetFamily:
+    def test_measured_scales_positive(self, mobilenet_family):
+        assert mobilenet_family.compute_scale > 0
+        assert mobilenet_family.memory_scale > 0
+
+    def test_memory_lighter_than_resnet(self, mobilenet_family):
+        """MobileNetV2's depthwise design is far lighter in parameters."""
+        assert mobilenet_family.memory_scale < 0.6
+
+    def test_accuracy_offset_negative(self, mobilenet_family):
+        assert mobilenet_family.accuracy_offset < 0
+
+
+class TestMixedArchitectureCatalog:
+    def _problem(self, mobilenet_family):
+        tasks = tuple(
+            make_task(i, priority=0.9 - 0.2 * i, min_accuracy=0.75) for i in range(3)
+        )
+        builder = ScenarioCatalogBuilder(
+            families=(DNNFamily("rn18"), mobilenet_family), seed=0
+        )
+        catalog = builder.build(tasks, tasks[0].qualities[0])
+        return DOTProblem(
+            tasks=tasks,
+            catalog=catalog,
+            budgets=Budgets(compute_time_s=2.5, training_budget_s=1000.0,
+                            memory_gb=8.0, radio_blocks=50),
+            radio=RadioModel(default_bits_per_rb=350_000.0),
+        )
+
+    def test_twenty_paths_per_task(self, mobilenet_family):
+        problem = self._problem(mobilenet_family)
+        assert len(problem.catalog.paths_for(0)) == 20  # 2 families x 10 configs
+
+    def test_families_do_not_share_blocks(self, mobilenet_family):
+        problem = self._problem(mobilenet_family)
+        blocks = problem.catalog.all_blocks()
+        rn_shared = {b for b in blocks if b.startswith("rn18:base:")}
+        mn_shared = {b for b in blocks if b.startswith("mnv2:base:")}
+        assert len(rn_shared) == 3
+        assert len(mn_shared) == 3
+        assert not rn_shared & mn_shared
+
+    def test_solver_handles_mixed_catalog(self, mobilenet_family):
+        problem = self._problem(mobilenet_family)
+        solution = OffloaDNNSolver().solve(problem)
+        assert check_constraints(problem, solution).feasible
+        assert solution.admitted_task_count == 3
+
+
+class TestHeuristicOrderingOptions:
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError, match="unknown ordering"):
+            OffloaDNNSolver(ordering="alphabetical")
+
+    def test_orderings_produce_feasible_solutions(self, tiny_problem):
+        for ordering in ("compute", "memory", "accuracy"):
+            solution = OffloaDNNSolver(ordering=ordering).solve(tiny_problem)
+            assert check_constraints(tiny_problem, solution).feasible
+
+    def test_accuracy_ordering_picks_richest_path(self, tiny_problem):
+        solution = OffloaDNNSolver(ordering="accuracy").solve(tiny_problem)
+        for task in tiny_problem.tasks:
+            assert solution.assignment(task).path.path_id.endswith("rich")
+
+    def test_compute_ordering_minimizes_inference(self, tiny_problem):
+        compute = OffloaDNNSolver(ordering="compute").solve(tiny_problem)
+        accuracy = OffloaDNNSolver(ordering="accuracy").solve(tiny_problem)
+        assert (
+            compute.total_inference_compute_s <= accuracy.total_inference_compute_s
+        )

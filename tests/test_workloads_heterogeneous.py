@@ -1,0 +1,74 @@
+"""Tests for the heterogeneous-SINR scenario (radio substrate -> DOT)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristic import OffloaDNNSolver
+from repro.core.objective import check_constraints
+from repro.radio.channel import ChannelModel
+from repro.workloads.heterogeneous import HeterogeneousParams, heterogeneous_problem
+
+
+class TestHeterogeneousProblem:
+    def test_per_task_bits_populated(self):
+        problem = heterogeneous_problem(seed=0)
+        for task in problem.tasks:
+            bits = problem.radio.bits_per_rb(task)
+            assert bits > 0
+            assert bits != 350_000.0 or True  # PHY-derived, may differ
+
+    def test_far_devices_get_less_capacity(self):
+        problem = heterogeneous_problem(seed=0)
+        # tasks are distance-ordered by construction (id 1 = nearest)
+        bits = [problem.radio.bits_per_rb(t) for t in problem.tasks]
+        assert bits[0] >= bits[-1]
+        assert len(set(bits)) > 1  # genuinely heterogeneous
+
+    def test_sinr_recorded_on_tasks(self):
+        problem = heterogeneous_problem(seed=0)
+        sinrs = [t.sinr_db for t in problem.tasks]
+        assert sinrs == sorted(sinrs, reverse=True)
+
+    def test_solution_feasible_with_per_task_rates(self):
+        problem = heterogeneous_problem(seed=0)
+        solution = OffloaDNNSolver().solve(problem)
+        report = check_constraints(problem, solution)
+        assert report.feasible, report.violations
+
+    def test_far_tasks_need_more_rbs(self):
+        problem = heterogeneous_problem(seed=0)
+        solution = OffloaDNNSolver().solve(problem)
+        near = solution.assignment(problem.tasks[0].task_id)
+        far = solution.assignment(problem.tasks[-1].task_id)
+        if near.admitted and far.admitted:
+            assert far.radio_blocks >= near.radio_blocks
+
+    def test_wider_distance_spread_cuts_admission(self):
+        compact = heterogeneous_problem(
+            HeterogeneousParams(num_tasks=14, max_distance_m=80.0), seed=1
+        )
+        spread = heterogeneous_problem(
+            HeterogeneousParams(num_tasks=14, max_distance_m=900.0), seed=1
+        )
+        near_solution = OffloaDNNSolver().solve(compact)
+        far_solution = OffloaDNNSolver().solve(spread)
+        assert (
+            far_solution.weighted_admission_ratio
+            <= near_solution.weighted_admission_ratio + 1e-9
+        )
+
+    def test_out_of_coverage_devices_dropped(self):
+        channel = ChannelModel(tx_power_dbm=-30.0)  # hopeless link budget
+        with pytest.raises(ValueError, match="out of coverage"):
+            heterogeneous_problem(
+                HeterogeneousParams(num_tasks=3, min_distance_m=5_000.0,
+                                    max_distance_m=9_000.0),
+                channel=channel,
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeterogeneousParams(num_tasks=0)
+        with pytest.raises(ValueError):
+            HeterogeneousParams(min_distance_m=100.0, max_distance_m=10.0)

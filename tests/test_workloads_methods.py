@@ -1,0 +1,139 @@
+"""Tests for multi-method (classification + detection) workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristic import OffloaDNNSolver
+from repro.core.objective import check_constraints
+from repro.core.problem import Budgets, DOTProblem, RadioModel
+from repro.core.task import QualityLevel, Task
+from repro.workloads.generator import (
+    METHOD_PROFILES,
+    MethodProfile,
+    ScenarioCatalogBuilder,
+)
+
+
+def _task(task_id: int, method: str, min_accuracy: float, priority: float = 0.8) -> Task:
+    return Task(
+        task_id=task_id,
+        name=f"{method}-{task_id}",
+        method=method,
+        priority=priority,
+        request_rate=4.0,
+        min_accuracy=min_accuracy,
+        max_latency_s=0.4,
+        qualities=(QualityLevel("full", 350_000.0),),
+    )
+
+
+@pytest.fixture()
+def mixed_problem() -> DOTProblem:
+    tasks = (
+        _task(1, "classification", 0.8, priority=0.9),
+        _task(2, "detection", 0.5, priority=0.8),  # the Fig. 4 example: 0.5 mAP
+        _task(3, "classification", 0.7, priority=0.7),
+    )
+    builder = ScenarioCatalogBuilder(seed=0)
+    catalog = builder.build(tasks, tasks[0].qualities[0])
+    return DOTProblem(
+        tasks=tasks,
+        catalog=catalog,
+        budgets=Budgets(compute_time_s=2.5, training_budget_s=1000.0,
+                        memory_gb=8.0, radio_blocks=50),
+        radio=RadioModel(default_bits_per_rb=350_000.0),
+    )
+
+
+class TestMethodProfiles:
+    def test_builtin_profiles(self):
+        assert METHOD_PROFILES["classification"].metric == "top-1"
+        assert METHOD_PROFILES["detection"].metric == "mAP"
+        assert METHOD_PROFILES["detection"].accuracy_offset < 0
+
+    def test_detection_paths_cost_more_compute(self, mixed_problem):
+        cls_paths = mixed_problem.catalog.paths_for(1)
+        det_paths = mixed_problem.catalog.paths_for(2)
+        by_id = lambda paths: {p.path_id.split(":")[-1]: p for p in paths}
+        cls_by, det_by = by_id(cls_paths), by_id(det_paths)
+        # CONFIG A is fully task specific -> the whole path carries the
+        # detection compute overhead
+        assert (
+            det_by["CONFIG A"].compute_time_s > cls_by["CONFIG A"].compute_time_s
+        )
+
+    def test_detection_accuracy_on_map_scale(self, mixed_problem):
+        det_paths = mixed_problem.catalog.paths_for(2)
+        assert all(p.accuracy < 0.75 for p in det_paths)
+        assert any(p.accuracy > 0.5 for p in det_paths)
+
+    def test_backbone_shared_across_methods(self, mixed_problem):
+        """Low-level features transfer across CV methods: detection and
+        classification paths with shared stages use the same base
+        blocks (the cross-method sharing the paper's innovation 1
+        enables)."""
+        cls_shared = {
+            b.block_id
+            for p in mixed_problem.catalog.paths_for(1)
+            for b in p.blocks
+            if ":base:" in b.block_id
+        }
+        det_shared = {
+            b.block_id
+            for p in mixed_problem.catalog.paths_for(2)
+            for b in p.blocks
+            if ":base:" in b.block_id
+        }
+        assert cls_shared == det_shared != set()
+
+    def test_unknown_method_falls_back_to_classification(self):
+        tasks = (_task(1, "segmentation", 0.6),)
+        builder = ScenarioCatalogBuilder(seed=0)
+        catalog = builder.build(tasks, tasks[0].qualities[0])
+        reference = ScenarioCatalogBuilder(seed=0).build(
+            (_task(1, "classification", 0.6),), tasks[0].qualities[0]
+        )
+        a = catalog.paths_for(1)[0]
+        b = reference.paths_for(1)[0]
+        assert a.compute_time_s == b.compute_time_s
+
+    def test_custom_profile(self):
+        tasks = (_task(1, "ocr", 0.6),)
+        builder = ScenarioCatalogBuilder(
+            seed=0,
+            method_profiles={
+                "ocr": MethodProfile(method="ocr", compute_scale=2.0, metric="cer"),
+            },
+        )
+        catalog = builder.build(tasks, tasks[0].qualities[0])
+        reference = ScenarioCatalogBuilder(seed=0).build(
+            (_task(1, "classification", 0.6),), tasks[0].qualities[0]
+        )
+        # CONFIG A (fully task specific) doubles in compute
+        ocr = {p.path_id.split(":")[-1]: p for p in catalog.paths_for(1)}
+        cls = {p.path_id.split(":")[-1]: p for p in reference.paths_for(1)}
+        assert ocr["CONFIG A"].compute_time_s == pytest.approx(
+            2.0 * cls["CONFIG A"].compute_time_s
+        )
+
+
+class TestMixedMethodSolving:
+    def test_all_methods_admitted(self, mixed_problem):
+        solution = OffloaDNNSolver().solve(mixed_problem)
+        assert solution.admitted_task_count == 3
+        assert check_constraints(mixed_problem, solution).feasible
+
+    def test_detection_requirement_met_on_map_scale(self, mixed_problem):
+        solution = OffloaDNNSolver().solve(mixed_problem)
+        detection = solution.assignment(2)
+        assert detection.path.effective_accuracy >= 0.5  # the 0.5 mAP bar
+
+    def test_sharing_spans_methods_in_solution(self, mixed_problem):
+        """If two tasks of different methods pick shared-trunk paths,
+        the trunk is deployed once."""
+        from repro.baselines.greedy import GreedyNoSharingSolver
+
+        shared = OffloaDNNSolver(ordering="memory").solve(mixed_problem)
+        dedicated = GreedyNoSharingSolver().solve(mixed_problem)
+        assert shared.total_memory_gb <= dedicated.total_memory_gb + 1e-9
