@@ -1,0 +1,108 @@
+"""Serving runtime — throughput and deadline-miss curve vs offered load.
+
+Beyond the paper: the emulation of Fig. 11 validates latency at the
+solved operating point; this bench drives the serving runtime across a
+range of offered loads (0.5x to 3x the solved ``λ``) and records how
+throughput saturates at the granted rate while the admission gate
+sheds the excess.  A second table isolates the shared-block prefix
+cache: identical runs with fusion on and off, and the simulated GPU
+time saved by running the frozen shared trunk once per window.
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import emit
+from repro.analysis.report import format_table
+from repro.core.heuristic import OffloaDNNSolver
+from repro.serving import DropReason, ServingRuntime
+from repro.workloads.smallscale import serving_small_scale_problem
+
+LOADS = (0.5, 1.0, 1.5, 2.0, 3.0)
+DURATION_S = 10.0
+SEED = 0
+
+
+def _runtime() -> ServingRuntime:
+    problem = serving_small_scale_problem(5, seed=SEED)
+    return ServingRuntime.from_problem(
+        problem, solver=OffloaDNNSolver(slice_margin_rbs=2)
+    )
+
+
+def _load_curve(runtime: ServingRuntime) -> list[list]:
+    rows = []
+    for load in LOADS:
+        metrics = runtime.with_config(
+            duration_s=DURATION_S, load_factor=load, seed=SEED
+        ).run()
+        gated = sum(t.drops[DropReason.ADMISSION] for t in metrics.tasks.values())
+        p95 = max(
+            t.latency.p95_s for t in metrics.tasks.values() if t.completed > 0
+        )
+        rows.append(
+            [
+                load,
+                metrics.offered,
+                metrics.completed,
+                metrics.throughput_rps,
+                1e3 * p95,
+                metrics.deadline_miss_rate,
+                gated,
+            ]
+        )
+    return rows
+
+
+def bench_serving_load_curve(benchmark):
+    runtime = _runtime()
+    rows = benchmark.pedantic(lambda: _load_curve(runtime), rounds=1, iterations=1)
+    throughputs = [row[3] for row in rows]
+    # throughput rises with load until the granted rate, then plateaus
+    assert throughputs[1] > throughputs[0]
+    assert abs(throughputs[-1] - throughputs[-2]) < 0.1 * throughputs[-2]
+    emit(
+        "serving_load_curve",
+        "Serving runtime: offered load vs throughput and deadline misses\n"
+        + format_table(
+            ["load x", "offered", "served", "req/s", "worst p95 ms", "miss rate", "gated"],
+            rows,
+            precision=2,
+        ),
+    )
+
+
+def bench_serving_prefix_cache(benchmark):
+    runtime = _runtime()
+
+    def compare() -> list[list]:
+        rows = []
+        for enabled in (True, False):
+            metrics = runtime.with_config(
+                duration_s=DURATION_S,
+                load_factor=2.0,
+                seed=SEED,
+                prefix_cache=enabled,
+            ).run()
+            rows.append(
+                [
+                    "on" if enabled else "off",
+                    metrics.completed,
+                    metrics.total_compute_s,
+                    metrics.compute_saved_s,
+                    metrics.prefix_merges,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    with_cache, without_cache = rows[0][2], rows[1][2]
+    assert with_cache < without_cache
+    assert rows[0][1] == rows[1][1]  # same served requests either way
+    emit(
+        "serving_prefix_cache",
+        "Serving runtime: shared-block prefix cache (2x load, 10 s)\n"
+        + format_table(
+            ["cache", "served", "compute s", "saved s", "merges"], rows, precision=4
+        )
+        + f"\ncompute reduction: {100 * (1 - with_cache / without_cache):.1f}%",
+    )

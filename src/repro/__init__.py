@@ -13,6 +13,8 @@ Public API tour:
 * the edge platform and controller: :mod:`repro.edge`
 * the radio substrate: :mod:`repro.radio`
 * the Colosseum-substitute emulator: :mod:`repro.emulator`
+* the serving runtime executing admitted streams: :mod:`repro.serving`
+  (``ServingRuntime``, ``TokenBucket``, ``ServingMetrics``)
 * figure/table reproduction: :mod:`repro.analysis`
 
 Quickstart::
@@ -41,9 +43,11 @@ from repro.core import (
     objective_value,
 )
 from repro.baselines import SemORANSolver
+from repro.serving import ServingConfig, ServingMetrics, ServingRuntime, TokenBucket
 from repro.workloads import (
     RequestRate,
     large_scale_problem,
+    serving_small_scale_problem,
     small_scale_problem,
 )
 
@@ -61,11 +65,16 @@ __all__ = [
     "Path",
     "QualityLevel",
     "SemORANSolver",
+    "ServingConfig",
+    "ServingMetrics",
+    "ServingRuntime",
     "Task",
+    "TokenBucket",
     "RequestRate",
     "check_constraints",
     "objective_value",
     "large_scale_problem",
+    "serving_small_scale_problem",
     "small_scale_problem",
     "__version__",
 ]

@@ -6,6 +6,7 @@ Python::
     python -m repro solve-small --tasks 5 --optimal
     python -m repro solve-large --rate high
     python -m repro emulate --tasks 5 --duration 20
+    python -m repro serve-sim --tasks 5 --load 2.0
     python -m repro profile --arch mobilenetv2
     python -m repro reproduce fig9
 
@@ -63,6 +64,28 @@ def build_parser() -> argparse.ArgumentParser:
         "artifact",
         choices=["fig2", "fig3", "fig6", "fig7", "fig9", "fig10", "fig11", "headline"],
     )
+
+    serve = sub.add_parser(
+        "serve-sim", help="run the serving runtime on the small-scale scenario"
+    )
+    serve.add_argument("--tasks", type=int, default=5, help="number of tasks (1..5)")
+    serve.add_argument("--duration", type=float, default=10.0, help="seconds")
+    serve.add_argument(
+        "--load", type=float, default=1.0, help="offered-load multiplier on λ"
+    )
+    serve.add_argument("--policy", choices=["fifo", "edf"], default="edf")
+    serve.add_argument("--window", type=float, default=0.005, help="batch window (s)")
+    serve.add_argument("--workers", type=int, default=1)
+    serve.add_argument(
+        "--slice-margin", type=int, default=2,
+        help="extra RBs per admitted slice (uplink headroom for batching)",
+    )
+    serve.add_argument(
+        "--no-prefix-cache", action="store_true",
+        help="disable shared-block prefix fusion in the executor",
+    )
+    serve.add_argument("--poisson", action="store_true", help="Poisson arrivals")
+    serve.add_argument("--seed", type=int, default=0)
 
     sweep = sub.add_parser("sweep", help="sensitivity sweep on the large scenario")
     sweep.add_argument("--knob", choices=["radio", "memory", "rate"], default="radio")
@@ -253,6 +276,53 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    from repro.core.heuristic import OffloaDNNSolver
+    from repro.serving import ServingConfig, ServingRuntime
+    from repro.workloads.smallscale import serving_small_scale_problem
+
+    problem = serving_small_scale_problem(args.tasks, seed=args.seed)
+    config = ServingConfig(
+        duration_s=args.duration,
+        batch_window_s=args.window,
+        queue_policy=args.policy,
+        num_workers=args.workers,
+        prefix_cache=not args.no_prefix_cache,
+        poisson=args.poisson,
+        load_factor=args.load,
+        seed=args.seed,
+    )
+    runtime = ServingRuntime.from_problem(
+        problem, config, solver=OffloaDNNSolver(slice_margin_rbs=args.slice_margin)
+    )
+    metrics = runtime.run()
+    print(
+        f"serving {args.tasks} tasks for {args.duration:g} s "
+        f"at {args.load:g}x offered load ({config.queue_policy}, "
+        f"prefix cache {'on' if config.prefix_cache else 'off'})"
+    )
+    print(
+        format_table(
+            list(metrics.SUMMARY_HEADER), metrics.summary_rows(), precision=1
+        )
+    )
+    print(
+        f"throughput {metrics.throughput_rps:.1f} req/s  "
+        f"deadline-miss rate {metrics.deadline_miss_rate:.3f}  "
+        f"windows {metrics.windows}"
+    )
+    print(
+        f"simulated compute {metrics.total_compute_s:.4f} s"
+        + (
+            f"  (prefix cache saved {metrics.compute_saved_s:.4f} s, "
+            f"{metrics.prefix_merges} merges)"
+            if config.prefix_cache
+            else ""
+        )
+    )
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis import sweep as sweep_module
 
@@ -330,6 +400,7 @@ _COMMANDS = {
     "emulate": _cmd_emulate,
     "profile": _cmd_profile,
     "reproduce": _cmd_reproduce,
+    "serve-sim": _cmd_serve_sim,
     "sweep": _cmd_sweep,
     "export-problem": _cmd_export_problem,
     "solve-file": _cmd_solve_file,

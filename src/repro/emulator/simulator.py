@@ -51,7 +51,14 @@ class Simulator:
         return self.schedule(max(0.0, time - self.now), callback)
 
     def run_until(self, end_time: float) -> None:
-        """Process events with ``time <= end_time`` in order."""
+        """Process events with ``time <= end_time`` in order.
+
+        The virtual clock always advances to ``end_time``, even when
+        the queue is empty (or drains early) — callers like the serving
+        runtime rely on this to measure a fixed horizon regardless of
+        how quiet the run was.  A past ``end_time`` leaves ``now``
+        untouched.
+        """
         while self._queue and self._queue[0].time <= end_time:
             event = heapq.heappop(self._queue)
             if event.cancelled:

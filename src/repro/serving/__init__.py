@@ -1,0 +1,43 @@
+"""Edge inference serving runtime — executing admitted request streams.
+
+Where :mod:`repro.edge` *decides* (which tasks, which paths, which
+slices), this package *serves*: it drives per-task request streams
+through the deployed DNN paths on the discrete-event simulator, with
+
+* :mod:`repro.serving.admission` — token buckets enforcing the solved
+  admission ratios ``z_τ``;
+* :mod:`repro.serving.queueing` — bounded, deadline-aware per-slice
+  queues (FIFO or EDF) with drop accounting;
+* :mod:`repro.serving.executor` — a worker-pool batch executor whose
+  shared-block prefix cache fuses requests across paths that share
+  frozen blocks, plus a tensor-level blockwise runner;
+* :mod:`repro.serving.metrics` — per-task latency histograms
+  (p50/p95/p99), deadline-miss rates and drop reasons;
+* :mod:`repro.serving.runtime` — the end-to-end loop on the emulator
+  clock, reusing the LTE uplink for transfer time.
+
+Entry points: ``ServingRuntime.from_problem(problem).run()`` or the
+``repro serve-sim`` CLI command.
+"""
+
+from repro.serving.admission import AdmissionGate, TokenBucket
+from repro.serving.executor import BatchExecutor, BlockwiseRunner, WindowReport
+from repro.serving.metrics import LatencyStats, ServingMetrics, TaskServingMetrics
+from repro.serving.queueing import DropReason, ServingQueue, ServingRequest
+from repro.serving.runtime import ServingConfig, ServingRuntime
+
+__all__ = [
+    "AdmissionGate",
+    "BatchExecutor",
+    "BlockwiseRunner",
+    "DropReason",
+    "LatencyStats",
+    "ServingConfig",
+    "ServingMetrics",
+    "ServingQueue",
+    "ServingRequest",
+    "ServingRuntime",
+    "TaskServingMetrics",
+    "TokenBucket",
+    "WindowReport",
+]

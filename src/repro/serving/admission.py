@@ -1,0 +1,95 @@
+"""Per-task admission-ratio enforcement (the runtime face of ``z_τ``).
+
+The DOT solver grants each task an admission ratio ``z_τ ∈ [0, 1]``:
+the fraction of the task's offered request stream the edge has
+resources to serve.  At runtime the controller's notification (step 6
+of the Fig. 4 workflow) must be *enforced* — devices keep producing
+frames at the full rate ``λ_τ`` and the serving stack may only pass
+``z_τ`` of them upstream.
+
+:class:`TokenBucket` implements the enforcement as a deterministic
+credit scheme: every offered request deposits ``z_τ`` tokens, serving
+one request costs a full token.  Over any window of ``n`` requests the
+served count is within one of ``n·z_τ`` (exact for ``z_τ ∈ {0, 1}``),
+and the gate needs no clock, so the decision sequence is reproducible
+regardless of arrival jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TokenBucket", "AdmissionGate"]
+
+
+@dataclass
+class TokenBucket:
+    """Deterministic token bucket metering one task's request stream.
+
+    ``ratio`` is the admission ratio ``z_τ``; ``burst`` bounds the
+    credit a quiet stream can accumulate (in requests, ≥ 1).  With the
+    default burst of 1 the admitted pattern is the evenly-spaced
+    low-discrepancy sequence: request ``k`` is admitted iff
+    ``⌊k·z⌋ > ⌊(k-1)·z⌋``.
+    """
+
+    ratio: float
+    burst: float = 1.0
+    _credit: float = 0.0
+    offered: int = 0
+    admitted: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ratio <= 1.0:
+            raise ValueError("ratio must be in [0, 1]")
+        if self.burst < 1.0:
+            raise ValueError("burst must be >= 1 request")
+
+    def allow(self) -> bool:
+        """Meter one offered request; True if it may be served."""
+        self.offered += 1
+        self._credit += self.ratio
+        admitted = self._credit >= 1.0 - 1e-12
+        if admitted:
+            self._credit -= 1.0
+            self.admitted += 1
+        # cap the banked credit AFTER spending — clipping before the
+        # check would discard fractional credit and underserve high z
+        self._credit = min(self._credit, self.burst)
+        return admitted
+
+    @property
+    def served_fraction(self) -> float:
+        """Fraction of offered requests admitted so far."""
+        if self.offered == 0:
+            return float("nan")
+        return self.admitted / self.offered
+
+
+@dataclass
+class AdmissionGate:
+    """One :class:`TokenBucket` per admitted task.
+
+    Built from the controller's admission tickets; tasks without a
+    ticket (or rejected outright) are gated at ratio 0.
+    """
+
+    buckets: dict[int, TokenBucket] = field(default_factory=dict)
+
+    @classmethod
+    def from_ratios(cls, ratios: dict[int, float], burst: float = 1.0) -> "AdmissionGate":
+        return cls(
+            buckets={
+                task_id: TokenBucket(ratio=ratio, burst=burst)
+                for task_id, ratio in ratios.items()
+            }
+        )
+
+    def allow(self, task_id: int) -> bool:
+        bucket = self.buckets.get(task_id)
+        if bucket is None:
+            return False
+        return bucket.allow()
+
+    def bucket(self, task_id: int) -> TokenBucket:
+        return self.buckets[task_id]

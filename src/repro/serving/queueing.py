@@ -1,0 +1,143 @@
+"""Per-slice request queues with deadlines and backpressure.
+
+Each admitted task owns one radio slice and, on the edge side, one
+serving queue.  Queues are bounded (``max_depth``) so an overloaded
+task exerts backpressure instead of growing without bound, and they
+are deadline-aware: a request that can no longer meet its latency
+target ``L_τ`` is dropped at dispatch time rather than wasting GPU
+time (the preemptive-dropping regime of deadline-constrained serving).
+
+Two disciplines are provided:
+
+* ``fifo`` — arrival order, the paper's Colosseum behaviour;
+* ``edf``  — earliest deadline first, the classical optimal single-
+  machine policy for feasible deadline sets.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.catalog import Path
+
+__all__ = ["DropReason", "ServingRequest", "ServingQueue"]
+
+
+class DropReason(enum.Enum):
+    """Why a request left the pipeline without being served."""
+
+    #: gated by the token bucket (the solved ``z_τ`` says: shed it)
+    ADMISSION = "admission"
+    #: the task's serving queue was full (backpressure)
+    QUEUE_FULL = "queue_full"
+    #: its deadline expired (or became unreachable) before service
+    DEADLINE = "deadline"
+
+
+@dataclass
+class ServingRequest:
+    """Lifecycle record of one inference request."""
+
+    task_id: int
+    request_id: int
+    path: Path
+    created_at: float
+    deadline_at: float
+    #: uplink payload β(q) in bits
+    bits: float
+    uplink_done_at: float = float("nan")
+    started_at: float = float("nan")
+    completed_at: float = float("nan")
+    #: simulated GPU time attributed to this request's window share
+    compute_time_s: float = 0.0
+    drop_reason: DropReason | None = None
+
+    @property
+    def dropped(self) -> bool:
+        return self.drop_reason is not None
+
+    @property
+    def completed(self) -> bool:
+        return not self.dropped and self.completed_at == self.completed_at
+
+    @property
+    def latency_s(self) -> float:
+        return self.completed_at - self.created_at
+
+    @property
+    def missed_deadline(self) -> bool:
+        """Served, but past its latency target."""
+        return self.completed and self.completed_at > self.deadline_at + 1e-12
+
+
+@dataclass
+class ServingQueue:
+    """Bounded, deadline-aware queue for one task's slice."""
+
+    task_id: int
+    policy: str = "fifo"
+    max_depth: int = 32
+    _fifo: deque[ServingRequest] = field(default_factory=deque)
+    _heap: list[tuple[float, int, ServingRequest]] = field(default_factory=list)
+    _sequence: int = 0
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("fifo", "edf"):
+            raise ValueError(f"unknown queue policy {self.policy!r}")
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+
+    def __len__(self) -> int:
+        return len(self._fifo) + len(self._heap)
+
+    def push(self, request: ServingRequest) -> ServingRequest | None:
+        """Enqueue; returns the request dropped by backpressure, if any.
+
+        FIFO rejects the newcomer when full.  EDF keeps the most urgent
+        ``max_depth`` requests, so the victim is whichever of (queue ∪
+        newcomer) has the latest deadline.
+        """
+        if self.policy == "fifo":
+            if len(self._fifo) >= self.max_depth:
+                request.drop_reason = DropReason.QUEUE_FULL
+                return request
+            self._fifo.append(request)
+            return None
+        heapq.heappush(self._heap, (request.deadline_at, self._sequence, request))
+        self._sequence += 1
+        if len(self._heap) > self.max_depth:
+            # nlargest(1) over a heap is O(n); depth is small and bounded
+            victim_key = max(self._heap)
+            self._heap.remove(victim_key)
+            heapq.heapify(self._heap)
+            victim = victim_key[2]
+            victim.drop_reason = DropReason.QUEUE_FULL
+            return victim
+        return None
+
+    def pop_ready(self, now: float) -> tuple[ServingRequest | None, list[ServingRequest]]:
+        """Next serviceable request plus any expired ones dropped on the way.
+
+        A request is expired when even zero queueing cannot meet its
+        deadline: ``now + Σc(s) > deadline``.
+        """
+        expired: list[ServingRequest] = []
+        while True:
+            request = self._pop()
+            if request is None:
+                return None, expired
+            if now + request.path.compute_time_s > request.deadline_at + 1e-12:
+                request.drop_reason = DropReason.DEADLINE
+                expired.append(request)
+                continue
+            return request, expired
+
+    def _pop(self) -> ServingRequest | None:
+        if self.policy == "fifo":
+            return self._fifo.popleft() if self._fifo else None
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]

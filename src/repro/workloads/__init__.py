@@ -8,7 +8,11 @@
 """
 
 from repro.workloads.generator import CostBasis, ScenarioCatalogBuilder
-from repro.workloads.smallscale import small_scale_problem, SMALL_SCALE
+from repro.workloads.smallscale import (
+    small_scale_problem,
+    serving_small_scale_problem,
+    SMALL_SCALE,
+)
 from repro.workloads.largescale import large_scale_problem, LARGE_SCALE, RequestRate
 from repro.workloads.heterogeneous import heterogeneous_problem, HeterogeneousParams
 
@@ -16,6 +20,7 @@ __all__ = [
     "CostBasis",
     "ScenarioCatalogBuilder",
     "small_scale_problem",
+    "serving_small_scale_problem",
     "SMALL_SCALE",
     "large_scale_problem",
     "LARGE_SCALE",

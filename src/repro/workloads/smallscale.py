@@ -10,13 +10,19 @@ priorities [0.8, 0.7, 0.6, 0.5, 0.4].
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as replace_params
 
 from repro.core.problem import Budgets, DOTProblem, RadioModel
 from repro.core.task import QualityLevel, Task
 from repro.workloads.generator import CostBasis, DNNFamily, ScenarioCatalogBuilder
 
-__all__ = ["SmallScaleParams", "SMALL_SCALE", "small_scale_tasks", "small_scale_problem"]
+__all__ = [
+    "SmallScaleParams",
+    "SMALL_SCALE",
+    "small_scale_tasks",
+    "small_scale_problem",
+    "serving_small_scale_problem",
+]
 
 
 @dataclass(frozen=True)
@@ -98,6 +104,53 @@ def small_scale_problem(
     )
     quality = tasks[0].qualities[0]
     catalog = builder.build(tasks, quality)
+    return DOTProblem(
+        tasks=tasks,
+        catalog=catalog,
+        budgets=Budgets(
+            compute_time_s=params.compute_budget_s,
+            training_budget_s=params.training_budget_s,
+            memory_gb=params.memory_gb,
+            radio_blocks=params.radio_blocks,
+        ),
+        radio=RadioModel(default_bits_per_rb=params.bits_per_rb),
+        alpha=params.alpha,
+    )
+
+
+#: Shared-trunk configurations for the serving scenario: both keep
+#: layer1-3 frozen on the family base blocks and fine-tune only g4.
+SERVING_CONFIGS: tuple[str, ...] = ("CONFIG C", "CONFIG C-pruned")
+
+
+def serving_small_scale_problem(
+    num_tasks: int = 5,
+    radio_blocks: int = 100,
+    seed: int = 0,
+) -> DOTProblem:
+    """The small-scale scenario shaped for the serving runtime.
+
+    Same Table IV constants, with two deliberate deviations: the full
+    100-RB cell of the Sec. V-B emulation, and a catalog restricted to
+    the shared-trunk configurations (CONFIG C / C-pruned) with the top
+    accuracy requirement relaxed to 0.84 so they stay feasible.  Every
+    admitted path then shares the frozen ``base:g1..g3`` prefix and
+    diverges at its fine-tuned ``g4`` — the coupling the executor's
+    shared-block prefix cache exploits.
+    """
+    params = replace_params(
+        SMALL_SCALE,
+        radio_blocks=radio_blocks,
+        accuracies=(0.84,) + SMALL_SCALE.accuracies[1:],
+    )
+    tasks = small_scale_tasks(num_tasks, params)
+    builder = ScenarioCatalogBuilder(
+        basis=CostBasis(),
+        families=SMALL_SCALE_FAMILIES,
+        config_names=SERVING_CONFIGS,
+        seed=seed,
+    )
+    catalog = builder.build(tasks, tasks[0].qualities[0])
     return DOTProblem(
         tasks=tasks,
         catalog=catalog,

@@ -42,6 +42,31 @@ class TestSimulator:
         assert log == [1]
         assert sim.now == pytest.approx(0.2)
 
+    def test_run_until_advances_clock_on_empty_queue(self):
+        sim = Simulator()
+        sim.run_until(3.5)
+        assert sim.now == pytest.approx(3.5)
+        assert sim.events_processed == 0
+        # events scheduled after the jump land relative to the new now
+        log = []
+        sim.schedule(0.5, lambda: log.append(sim.now))
+        sim.run()
+        assert log == [pytest.approx(4.0)]
+
+    def test_run_until_past_time_keeps_clock(self):
+        sim = Simulator()
+        sim.run_until(2.0)
+        sim.run_until(1.0)
+        assert sim.now == pytest.approx(2.0)
+
+    def test_run_until_drained_queue_still_reaches_horizon(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.1, lambda: log.append(1))
+        sim.run_until(5.0)
+        assert log == [1]
+        assert sim.now == pytest.approx(5.0)
+
     def test_cancelled_event_skipped(self):
         sim = Simulator()
         log = []

@@ -1,0 +1,195 @@
+"""Batch executor: window costing, prefix fusion, worker pool, runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import Block, Path
+from repro.core.task import QualityLevel
+from repro.dnn.graph import NamedModule
+from repro.dnn.layers import Linear, ReLU
+from repro.serving.executor import BatchExecutor, BlockwiseRunner, _window_costs
+from repro.serving.queueing import ServingRequest
+
+QUALITY = QualityLevel(name="full", bits_per_image=350_000.0)
+
+TRUNK = (
+    Block("base:g1", "base", compute_time_s=0.010, memory_gb=0.2),
+    Block("base:g2", "base", compute_time_s=0.008, memory_gb=0.2),
+)
+HEAD_A = Block("a:g3", "a", compute_time_s=0.004, memory_gb=0.1)
+HEAD_B = Block("b:g3", "b", compute_time_s=0.006, memory_gb=0.1)
+PATH_A = Path("a", "a", 1, TRUNK + (HEAD_A,), accuracy=0.9, quality=QUALITY)
+PATH_B = Path("b", "b", 2, TRUNK + (HEAD_B,), accuracy=0.8, quality=QUALITY)
+#: same head block cost but no shared trunk (cloned block ids)
+PATH_C = Path(
+    "c", "c", 3,
+    (
+        Block("c:g1", "c", compute_time_s=0.010, memory_gb=0.2),
+        Block("c:g2", "c", compute_time_s=0.008, memory_gb=0.2),
+        Block("c:g3", "c", compute_time_s=0.004, memory_gb=0.1),
+    ),
+    accuracy=0.9,
+    quality=QUALITY,
+)
+
+
+def request(path: Path, request_id: int = 0) -> ServingRequest:
+    return ServingRequest(
+        task_id=path.task_id,
+        request_id=request_id,
+        path=path,
+        created_at=0.0,
+        deadline_at=1.0,
+        bits=350_000.0,
+    )
+
+
+class TestWindowCosts:
+    def test_single_request_no_discount(self):
+        merged, unmerged, merges = _window_costs([request(PATH_A)], 0.5)
+        assert merged == pytest.approx(PATH_A.compute_time_s)
+        assert unmerged == pytest.approx(PATH_A.compute_time_s)
+        assert merges == 0
+
+    def test_same_path_batching_sublinear(self):
+        reqs = [request(PATH_A, i) for i in range(3)]
+        merged, unmerged, merges = _window_costs(reqs, 0.5)
+        # batch of 3 through every block: c · (1 + 2·0.5) = 2c
+        assert merged == pytest.approx(2 * PATH_A.compute_time_s)
+        assert unmerged == pytest.approx(merged)  # same path: nothing to merge
+        assert merges == 0
+
+    def test_shared_prefix_fused_once(self):
+        reqs = [request(PATH_A, 0), request(PATH_B, 1)]
+        merged, unmerged, merges = _window_costs(reqs, 0.5)
+        trunk = sum(b.compute_time_s for b in TRUNK)
+        heads = HEAD_A.compute_time_s + HEAD_B.compute_time_s
+        # trunk runs once over the union batch of 2, heads separately
+        assert merged == pytest.approx(trunk * 1.5 + heads)
+        assert unmerged == pytest.approx(2 * trunk + heads)
+        assert merged < unmerged
+        assert merges == 2  # g1 and g2 nodes each fuse two paths
+
+    def test_disjoint_paths_gain_nothing(self):
+        reqs = [request(PATH_A, 0), request(PATH_C, 1)]
+        merged, unmerged, merges = _window_costs(reqs, 0.5)
+        assert merged == pytest.approx(unmerged)
+        assert merges == 0
+
+    def test_efficiency_one_is_serial(self):
+        reqs = [request(PATH_A, 0), request(PATH_A, 1), request(PATH_B, 2)]
+        _, unmerged, _ = _window_costs(reqs, 1.0)
+        assert unmerged == pytest.approx(
+            2 * PATH_A.compute_time_s + PATH_B.compute_time_s
+        )
+
+
+class TestBatchExecutor:
+    def test_dispatch_stamps_requests(self):
+        executor = BatchExecutor(batch_efficiency=0.5)
+        reqs = [request(PATH_A, 0), request(PATH_B, 1)]
+        report = executor.dispatch(reqs, now=1.0)
+        assert report.started_at == pytest.approx(1.0)
+        assert report.finished_at == pytest.approx(1.0 + report.compute_s)
+        for r in reqs:
+            assert r.started_at == pytest.approx(1.0)
+            assert r.compute_time_s == pytest.approx(report.compute_s / 2)
+
+    def test_cache_disabled_charges_unshared(self):
+        reqs = [request(PATH_A, 0), request(PATH_B, 1)]
+        on = BatchExecutor(prefix_cache=True).dispatch(list(reqs), 0.0)
+        off = BatchExecutor(prefix_cache=False).dispatch(list(reqs), 0.0)
+        assert on.compute_s < off.compute_s
+        assert off.compute_s == pytest.approx(on.unshared_compute_s)
+        assert off.prefix_merges == 0
+
+    def test_single_worker_serializes_windows(self):
+        executor = BatchExecutor(num_workers=1)
+        first = executor.dispatch([request(PATH_A, 0)], now=0.0)
+        second = executor.dispatch([request(PATH_A, 1)], now=0.0)
+        assert second.started_at == pytest.approx(first.finished_at)
+
+    def test_worker_pool_overlaps_windows(self):
+        executor = BatchExecutor(num_workers=2)
+        first = executor.dispatch([request(PATH_A, 0)], now=0.0)
+        second = executor.dispatch([request(PATH_A, 1)], now=0.0)
+        assert first.started_at == second.started_at == pytest.approx(0.0)
+        assert executor.utilization(first.finished_at) == pytest.approx(1.0)
+
+    def test_saved_accounting(self):
+        executor = BatchExecutor(prefix_cache=True)
+        report = executor.dispatch([request(PATH_A, 0), request(PATH_B, 1)], 0.0)
+        assert executor.compute_saved_s == pytest.approx(report.saved_s)
+        assert executor.total_compute_s == pytest.approx(report.compute_s)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            BatchExecutor().dispatch([], 0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"num_workers": 0}, {"batch_efficiency": 1.5}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BatchExecutor(**kwargs)
+
+
+class TestBlockwiseRunner:
+    def _runner(self):
+        trunk = NamedModule(
+            "t", Linear(4, 8, rng=np.random.default_rng(1)), ReLU()
+        )
+        head_a = NamedModule("a", Linear(8, 3, rng=np.random.default_rng(2)))
+        head_b = NamedModule("b", Linear(8, 2, rng=np.random.default_rng(3)))
+        modules = {"base:g1": trunk, "a:g3": head_a, "b:g3": head_b}
+        trunk_block = Block("base:g1", "base", compute_time_s=0.01, memory_gb=0.1)
+        path_a = Path(
+            "a", "a", 1,
+            (trunk_block, Block("a:g3", "a", compute_time_s=0.002, memory_gb=0.1)),
+            accuracy=0.9, quality=QUALITY,
+        )
+        path_b = Path(
+            "b", "b", 2,
+            (trunk_block, Block("b:g3", "b", compute_time_s=0.002, memory_gb=0.1)),
+            accuracy=0.8, quality=QUALITY,
+        )
+        runner = BlockwiseRunner(modules=modules, cacheable=frozenset({"base:g1"}))
+        return runner, path_a, path_b, modules
+
+    def test_matches_direct_execution(self):
+        runner, path_a, _, modules = self._runner()
+        x = np.random.default_rng(0).normal(size=(1, 4))
+        expected = modules["a:g3"](modules["base:g1"](x))
+        np.testing.assert_allclose(runner.run(path_a, x, input_key=1), expected)
+
+    def test_shared_trunk_cached_across_paths(self):
+        runner, path_a, path_b, modules = self._runner()
+        x = np.random.default_rng(0).normal(size=(1, 4))
+        out_a = runner.run(path_a, x, input_key=7)
+        out_b = runner.run(path_b, x, input_key=7)
+        assert runner.cache_hits == 1 and runner.cache_misses == 1
+        np.testing.assert_allclose(out_b, modules["b:g3"](modules["base:g1"](x)))
+        assert out_a.shape == (1, 3) and out_b.shape == (1, 2)
+
+    def test_distinct_inputs_do_not_share(self):
+        runner, path_a, path_b, _ = self._runner()
+        x = np.random.default_rng(0).normal(size=(1, 4))
+        runner.run(path_a, x, input_key=1)
+        runner.run(path_b, x, input_key=2)
+        assert runner.cache_hits == 0 and runner.cache_misses == 2
+
+    def test_clear_resets_cache(self):
+        runner, path_a, path_b, _ = self._runner()
+        x = np.random.default_rng(0).normal(size=(1, 4))
+        runner.run(path_a, x, input_key=1)
+        runner.clear()
+        runner.run(path_b, x, input_key=1)
+        assert runner.cache_hits == 0
+
+    def test_missing_module_raises(self):
+        runner, path_a, _, _ = self._runner()
+        runner.modules.pop("a:g3")
+        with pytest.raises(KeyError):
+            runner.run(path_a, np.zeros((1, 4)))

@@ -1,0 +1,133 @@
+"""Serving queues: ordering, backpressure and deadline-aware dropping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.catalog import Block, Path
+from repro.core.task import QualityLevel
+from repro.serving.queueing import DropReason, ServingQueue, ServingRequest
+
+QUALITY = QualityLevel(name="full", bits_per_image=350_000.0)
+
+
+def make_path(compute_time_s: float = 0.01) -> Path:
+    block = Block("b", "d", compute_time_s=compute_time_s, memory_gb=0.1)
+    return Path("p", "d", 1, (block,), accuracy=0.9, quality=QUALITY)
+
+
+def make_request(request_id: int, deadline_at: float, created_at: float = 0.0,
+                 compute_time_s: float = 0.01) -> ServingRequest:
+    return ServingRequest(
+        task_id=1,
+        request_id=request_id,
+        path=make_path(compute_time_s),
+        created_at=created_at,
+        deadline_at=deadline_at,
+        bits=350_000.0,
+    )
+
+
+class TestFifoQueue:
+    def test_arrival_order(self):
+        queue = ServingQueue(task_id=1, policy="fifo")
+        for i, deadline in enumerate([0.9, 0.1, 0.5]):
+            assert queue.push(make_request(i, deadline)) is None
+        order = [queue.pop_ready(0.0)[0].request_id for _ in range(3)]
+        assert order == [0, 1, 2]
+
+    def test_full_queue_drops_newcomer(self):
+        queue = ServingQueue(task_id=1, policy="fifo", max_depth=2)
+        assert queue.push(make_request(0, 1.0)) is None
+        assert queue.push(make_request(1, 1.0)) is None
+        victim = queue.push(make_request(2, 1.0))
+        assert victim is not None
+        assert victim.request_id == 2
+        assert victim.drop_reason is DropReason.QUEUE_FULL
+        assert len(queue) == 2
+
+
+class TestEdfQueue:
+    def test_earliest_deadline_first(self):
+        queue = ServingQueue(task_id=1, policy="edf")
+        for i, deadline in enumerate([0.9, 0.1, 0.5]):
+            queue.push(make_request(i, deadline))
+        order = [queue.pop_ready(0.0)[0].request_id for _ in range(3)]
+        assert order == [1, 2, 0]
+
+    def test_deadline_ties_fifo(self):
+        queue = ServingQueue(task_id=1, policy="edf")
+        for i in range(3):
+            queue.push(make_request(i, 0.5))
+        order = [queue.pop_ready(0.0)[0].request_id for _ in range(3)]
+        assert order == [0, 1, 2]
+
+    def test_full_queue_drops_latest_deadline(self):
+        queue = ServingQueue(task_id=1, policy="edf", max_depth=2)
+        queue.push(make_request(0, 0.9))
+        queue.push(make_request(1, 0.1))
+        victim = queue.push(make_request(2, 0.5))
+        assert victim is not None
+        assert victim.request_id == 0  # the most relaxed deadline loses
+        assert victim.drop_reason is DropReason.QUEUE_FULL
+        assert len(queue) == 2
+
+    def test_urgent_newcomer_displaces(self):
+        queue = ServingQueue(task_id=1, policy="edf", max_depth=1)
+        queue.push(make_request(0, 0.9))
+        victim = queue.push(make_request(1, 0.1))
+        assert victim.request_id == 0
+        request, _ = queue.pop_ready(0.0)
+        assert request.request_id == 1
+
+
+class TestDeadlineDropping:
+    @pytest.mark.parametrize("policy", ["fifo", "edf"])
+    def test_expired_dropped_at_pop(self, policy):
+        queue = ServingQueue(task_id=1, policy=policy)
+        queue.push(make_request(0, deadline_at=0.1))
+        queue.push(make_request(1, deadline_at=5.0))
+        request, expired = queue.pop_ready(now=1.0)
+        assert request.request_id == 1
+        assert [r.request_id for r in expired] == [0]
+        assert expired[0].drop_reason is DropReason.DEADLINE
+
+    def test_unreachable_deadline_dropped(self):
+        # deadline nominally in the future, but the path's compute time
+        # alone cannot fit: now + Σc > deadline
+        queue = ServingQueue(task_id=1, policy="fifo")
+        queue.push(make_request(0, deadline_at=1.05, compute_time_s=0.2))
+        request, expired = queue.pop_ready(now=1.0)
+        assert request is None
+        assert len(expired) == 1
+
+    def test_empty_pop(self):
+        request, expired = ServingQueue(task_id=1).pop_ready(0.0)
+        assert request is None and expired == []
+
+
+class TestValidation:
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            ServingQueue(task_id=1, policy="lifo")
+
+    def test_bad_depth(self):
+        with pytest.raises(ValueError):
+            ServingQueue(task_id=1, max_depth=0)
+
+
+class TestServingRequest:
+    def test_lifecycle_flags(self):
+        request = make_request(0, deadline_at=0.5)
+        assert not request.completed and not request.dropped
+        request.completed_at = 0.4
+        assert request.completed and not request.missed_deadline
+        request.completed_at = 0.6
+        assert request.missed_deadline
+        assert request.latency_s == pytest.approx(0.6)
+
+    def test_dropped_never_completed(self):
+        request = make_request(0, deadline_at=0.5)
+        request.drop_reason = DropReason.ADMISSION
+        request.completed_at = 0.4
+        assert request.dropped and not request.completed
