@@ -1,0 +1,169 @@
+"""Compiled inference engine — eager vs fused-plan forward latency.
+
+Beyond the paper: every compute cost the DOT solver and the serving
+runtime consume comes from forwards of the numpy engine.  This bench
+measures what the compiled engine (:mod:`repro.dnn.compile` — BN
+folding, op fusion, weight pre-layout, buffer arenas) buys over the
+eager layer-by-layer forward, across the Table I ResNet configurations
+and MobileNetV2 at batch sizes 1/8/32, and verifies numerical parity.
+
+Results go to ``BENCH_engine.json`` at the repo root (machine-readable,
+committed, so later PRs can track the perf trajectory) and a text table
+under ``benchmarks/results/``.  ``--quick`` runs a small-shape subset
+for CI smoke: it asserts parity and exits nonzero on divergence or
+crash, writing ``benchmarks/results/BENCH_engine_quick.json`` instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from benchmarks._report import emit
+from repro.analysis.report import format_table
+from repro.dnn.compile import compile_module
+from repro.dnn.configs import TABLE_I_CONFIGS
+from repro.dnn.mobilenet import build_mobilenetv2
+from repro.dnn.pruning import prune_resnet
+from repro.dnn.resnet import build_resnet18
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+PARITY_TOL = 1e-4
+SEED = 0
+
+
+def _median_time(fn, x: np.ndarray, repeats: int, warmup: int = 1) -> float:
+    for _ in range(warmup):
+        fn(x)
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(x)
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def _resnet_config_model(name: str, width: int, input_size: int):
+    config = TABLE_I_CONFIGS[name]
+    model = build_resnet18(
+        num_classes=10, input_size=input_size, width=width, seed=SEED
+    )
+    if config.pruned:
+        prune_resnet(model, set(config.prunable_blocks), config.prune_ratio)
+    return model
+
+
+def _models(quick: bool):
+    """(label, BlockwiseModel) pairs for the requested scale."""
+    if quick:
+        width, input_size = 8, 16
+        names = ["CONFIG A", "CONFIG C", "CONFIG C-pruned"]
+        mobilenets = [(0.25, 16)]
+    else:
+        width, input_size = 32, 32
+        names = list(TABLE_I_CONFIGS)
+        mobilenets = [(0.25, 32), (0.5, 32)]
+    pairs = [
+        (name, _resnet_config_model(name, width, input_size)) for name in names
+    ]
+    for mult, size in mobilenets:
+        model = build_mobilenetv2(
+            num_classes=10, input_size=size, width_multiplier=mult, seed=SEED
+        )
+        pairs.append((f"MobileNetV2-{mult}", model))
+    return pairs
+
+
+def run(quick: bool) -> dict:
+    batches = [1, 8] if quick else [1, 8, 32]
+    repeats = 3 if quick else 5
+    rng = np.random.default_rng(SEED)
+    rows = []
+    for label, model in _models(quick):
+        eager = model._as_sequential
+        compiled = compile_module(model)
+        for n in batches:
+            x = rng.standard_normal((n, *model.input_shape), dtype=np.float32)
+            diff = float(np.abs(eager.forward(x) - compiled.forward(x)).max())
+            eager_s = _median_time(eager.forward, x, repeats)
+            compiled_s = _median_time(compiled.forward, x, repeats)
+            rows.append(
+                {
+                    "model": label,
+                    "batch": n,
+                    "eager_ms": eager_s * 1e3,
+                    "compiled_ms": compiled_s * 1e3,
+                    "speedup": eager_s / compiled_s,
+                    "max_abs_diff": diff,
+                }
+            )
+        compiled.release_buffers()
+    batch8 = [r["speedup"] for r in rows if r["batch"] == 8]
+    return {
+        "bench": "bench_engine",
+        "mode": "quick" if quick else "full",
+        "settings": {
+            "seed": SEED,
+            "repeats": repeats,
+            "batches": batches,
+            "parity_tolerance": PARITY_TOL,
+        },
+        "results": rows,
+        "geomean_speedup_batch8": float(np.exp(np.mean(np.log(batch8)))),
+        "max_abs_diff": max(r["max_abs_diff"] for r in rows),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small-shape CI smoke: subset of models, batches 1/8",
+    )
+    args = parser.parse_args()
+
+    report = run(quick=args.quick)
+    table = format_table(
+        ["model", "batch", "eager ms", "compiled ms", "speedup", "max|diff|"],
+        [
+            [
+                r["model"],
+                r["batch"],
+                f"{r['eager_ms']:.2f}",
+                f"{r['compiled_ms']:.2f}",
+                f"{r['speedup']:.2f}x",
+                f"{r['max_abs_diff']:.1e}",
+            ]
+            for r in report["results"]
+        ],
+    )
+    summary = (
+        f"geomean speedup @ batch 8: {report['geomean_speedup_batch8']:.2f}x   "
+        f"max parity diff: {report['max_abs_diff']:.1e}"
+    )
+    name = "BENCH_engine_quick" if args.quick else "BENCH_engine"
+    emit(name, table + "\n\n" + summary)
+
+    if args.quick:
+        json_path = REPO_ROOT / "benchmarks" / "results" / f"{name}.json"
+    else:
+        json_path = REPO_ROOT / "BENCH_engine.json"
+    json_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {json_path}")
+
+    if report["max_abs_diff"] >= PARITY_TOL:
+        print(
+            f"PARITY FAILURE: max|diff| {report['max_abs_diff']:.2e} "
+            f">= {PARITY_TOL:.0e}"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,7 @@ scratch on numpy:
 * :mod:`repro.dnn.ops` -- raw tensor operations (conv2d, depthwise, ...)
 * :mod:`repro.dnn.layers` -- parameterized layer objects
 * :mod:`repro.dnn.graph` -- sequential / residual module composition
+* :mod:`repro.dnn.compile` -- fused, buffer-reusing inference plans
 * :mod:`repro.dnn.resnet` -- ResNet-18 as a stem + 4 layer-blocks + head
 * :mod:`repro.dnn.mobilenet` -- MobileNetV2 on the same block partition
 * :mod:`repro.dnn.pruning` -- DepGraph-style structured channel pruning
@@ -24,6 +25,7 @@ scratch on numpy:
 * :mod:`repro.dnn.weights` -- weight persistence and block transplanting
 """
 
+from repro.dnn.compile import CompiledModule, compile_module
 from repro.dnn.configs import BlockConfig, TABLE_I_CONFIGS
 from repro.dnn.finetune import FineTuner
 from repro.dnn.mobilenet import build_mobilenetv2
@@ -35,6 +37,8 @@ from repro.dnn.weights import load_weights, save_weights
 __all__ = [
     "build_resnet18",
     "build_mobilenetv2",
+    "CompiledModule",
+    "compile_module",
     "BlockwiseModel",
     "ResNet18",
     "BlockProfile",

@@ -1,0 +1,704 @@
+"""Compiled inference engine: BN folding, op fusion, buffer-reusing plans.
+
+The eager engine (:mod:`repro.dnn.layers` / :mod:`repro.dnn.graph`) runs
+``Conv2d -> BatchNorm2d -> ReLU`` as three separate passes, each
+allocating a fresh intermediate tensor — fine for training and autograd,
+wasteful for the inference loops the profiler, the serving runtime and
+the emulation benchmarks hammer.  This module is the standard CPU-engine
+answer: :func:`compile_module` walks a ``Sequential`` / ``Residual`` /
+``NamedModule`` tree once and emits an execution *plan* of fused steps.
+
+Optimization passes
+-------------------
+
+1. **BN folding** — a ``BatchNorm2d`` following a ``Conv2d`` or
+   ``DepthwiseConv2d`` is folded into the convolution's weights and bias
+   (computed in float64, stored float32), removing two full-tensor
+   passes per convolution.
+2. **Op fusion** — conv + bias + ``ReLU``/``ReLU6`` become one kernel
+   (:func:`repro.dnn.ops.conv2d_fused` /
+   :func:`~repro.dnn.ops.depthwise_conv2d_fused`) that adds the bias and
+   clips in place on the GEMM output.  Residual add + activation is one
+   in-place step as well.
+3. **Weight pre-layout** — the (C_out, C_in*K*K) GEMM matrix of every
+   convolution and the contiguous transpose of every ``Linear`` weight
+   are materialized once at compile time instead of per call.
+4. **Buffer arena** — all activation shapes are precomputed for the
+   compiled input shape; every step owns preallocated output (and pad)
+   buffers per batch size, and a single shared im2col/temp scratch is
+   reused across layers and calls.  Steady-state forwards allocate
+   nothing but the final output copy.
+
+:class:`CompiledModule` is a drop-in :class:`~repro.dnn.layers.Layer`
+(same ``forward`` / ``output_shape`` / ``flops`` interface, delegated to
+the source module), so the profiler, repository and
+``serving.BlockwiseRunner`` can opt in via a flag.
+
+The plan snapshots the module's weights: mutate the source (pruning,
+fine-tuning) and you must re-compile.  Inputs are cast to float32; plan
+buffers are private, so each forward returns a fresh copy of the output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dnn import ops
+from repro.dnn.graph import Residual, Sequential
+from repro.dnn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ReLU6,
+)
+
+__all__ = ["CompiledModule", "compile_module", "fold_batch_norm"]
+
+
+def fold_batch_norm(
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    bn: BatchNorm2d,
+    depthwise: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold ``bn``'s scale/shift into convolution ``weight``/``bias``.
+
+    ``weight`` is (C_out, C_in, K, K) — or (C, K, K) with
+    ``depthwise=True`` — and the returned pair is float32 with the bias
+    always materialized (BN contributes a shift even to bias-free convs).
+    """
+    scale, shift = ops.bn_scale_shift(
+        bn.gamma, bn.beta, bn.running_mean, bn.running_var
+    )
+    expand = scale[:, None, None] if depthwise else scale[:, None, None, None]
+    folded_w = weight.astype(np.float64) * expand
+    folded_b = shift if bias is None else bias.astype(np.float64) * scale + shift
+    return folded_w.astype(np.float32), folded_b.astype(np.float32)
+
+
+class _Scratch:
+    """Shared per-batch scratch: one im2col buffer, one elementwise temp."""
+
+    def __init__(self, n: int, cols_elems: int, tmp_elems: int) -> None:
+        self.cols = np.empty(n * cols_elems, dtype=np.float32) if cols_elems else None
+        self.tmp = np.empty(n * tmp_elems, dtype=np.float32) if tmp_elems else None
+
+
+class _Step:
+    """One node of the execution plan."""
+
+    label = "step"
+    #: output shape for one sample
+    out_shape: tuple[int, ...] = ()
+    #: per-sample im2col scratch elements this step needs
+    cols_elems = 0
+    #: per-sample elementwise-temp scratch elements this step needs
+    tmp_elems = 0
+
+    def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
+        raise NotImplementedError
+
+    def release(self) -> None:
+        """Drop any per-batch buffers (they re-allocate lazily)."""
+
+
+class _FusedConv(_Step):
+    """conv2d (+ folded BN) + bias + activation as one GEMM kernel."""
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: np.ndarray | None,
+        kernel: int,
+        stride: int,
+        padding: int,
+        activation: str | None,
+        in_shape: tuple[int, ...],
+        out_shape: tuple[int, ...],
+        label: str,
+    ) -> None:
+        c_out = weight.shape[0]
+        self.w_mat = np.ascontiguousarray(
+            weight.reshape(c_out, -1), dtype=np.float32
+        )
+        self.bias = None if bias is None else np.ascontiguousarray(bias, np.float32)
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.activation = activation
+        self.in_shape = in_shape
+        self.out_shape = out_shape
+        self.label = label
+        c = in_shape[0]
+        oh, ow = out_shape[1], out_shape[2]
+        if kernel == 1 and stride == 1 and padding == 0:
+            self.cols_elems = 0  # GEMM straight on the input view
+        elif kernel == 1:
+            self.cols_elems = c * oh * ow
+        else:
+            self.cols_elems = c * kernel * kernel * oh * ow
+        self._bufs: dict[int, tuple[np.ndarray | None, np.ndarray]] = {}
+
+    def _buffers(self, n: int) -> tuple[np.ndarray | None, np.ndarray]:
+        bufs = self._bufs.get(n)
+        if bufs is None:
+            c, h, w = self.in_shape
+            pad = None
+            if self.padding:
+                # borders stay zero forever; only the interior is
+                # rewritten each call
+                pad = np.zeros(
+                    (n, c, h + 2 * self.padding, w + 2 * self.padding),
+                    dtype=np.float32,
+                )
+            out = np.empty(
+                (n, self.out_shape[0], self.out_shape[1] * self.out_shape[2]),
+                dtype=np.float32,
+            )
+            bufs = (pad, out)
+            self._bufs[n] = bufs
+        return bufs
+
+    def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
+        pad, out = self._buffers(x.shape[0])
+        if pad is not None:
+            p = self.padding
+            h, w = self.in_shape[1], self.in_shape[2]
+            pad[:, :, p : p + h, p : p + w] = x
+            x = pad
+        return ops.conv2d_fused(
+            x,
+            self.w_mat,
+            self.bias,
+            self.kernel,
+            self.stride,
+            self.out_shape[1],
+            self.out_shape[2],
+            out=out,
+            cols=scratch.cols,
+            activation=self.activation,
+        )
+
+    def release(self) -> None:
+        self._bufs.clear()
+
+
+class _FusedDepthwise(_Step):
+    """depthwise conv (+ folded BN) + bias + activation via batched GEMM."""
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: np.ndarray | None,
+        stride: int,
+        padding: int,
+        activation: str | None,
+        in_shape: tuple[int, ...],
+        out_shape: tuple[int, ...],
+        label: str,
+    ) -> None:
+        c, k = weight.shape[0], weight.shape[1]
+        self.w_mat = np.ascontiguousarray(
+            weight.reshape(c, 1, k * k), dtype=np.float32
+        )
+        self.bias = None if bias is None else np.ascontiguousarray(bias, np.float32)
+        self.kernel = k
+        self.stride = stride
+        self.padding = padding
+        self.activation = activation
+        self.in_shape = in_shape
+        self.out_shape = out_shape
+        self.label = label
+        self._padded = (c, in_shape[1] + 2 * padding, in_shape[2] + 2 * padding)
+        # the fused kernel gathers one sample's columns at a time, so the
+        # scratch need is per-sample regardless of batch size
+        self.cols_elems = c * k * k * out_shape[1] * out_shape[2]
+        self._bufs: dict[int, tuple[np.ndarray | None, np.ndarray]] = {}
+
+    def _buffers(self, n: int) -> tuple[np.ndarray | None, np.ndarray]:
+        bufs = self._bufs.get(n)
+        if bufs is None:
+            pad = None
+            if self.padding:
+                pad = np.zeros((n, *self._padded), dtype=np.float32)
+            out = np.empty((n, *self.out_shape), dtype=np.float32)
+            bufs = (pad, out)
+            self._bufs[n] = bufs
+        return bufs
+
+    def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
+        pad, out = self._buffers(x.shape[0])
+        if pad is not None:
+            p = self.padding
+            h, w = self.in_shape[1], self.in_shape[2]
+            pad[:, :, p : p + h, p : p + w] = x
+            x = pad
+        return ops.depthwise_conv2d_fused(
+            x,
+            self.w_mat,
+            self.bias,
+            self.kernel,
+            self.stride,
+            self.out_shape[1],
+            self.out_shape[2],
+            out=out,
+            cols=scratch.cols,
+            activation=self.activation,
+        )
+
+    def release(self) -> None:
+        self._bufs.clear()
+
+
+class _BufferedStep(_Step):
+    """Base for steps with a single preallocated output buffer."""
+
+    def __init__(self, out_shape: tuple[int, ...], label: str) -> None:
+        self.out_shape = out_shape
+        self.label = label
+        self._bufs: dict[int, np.ndarray] = {}
+
+    def _out(self, n: int) -> np.ndarray:
+        out = self._bufs.get(n)
+        if out is None:
+            out = np.empty((n, *self.out_shape), dtype=np.float32)
+            self._bufs[n] = out
+        return out
+
+    def release(self) -> None:
+        self._bufs.clear()
+
+
+class _BatchNormAct(_BufferedStep):
+    """Standalone BN (no foldable conv before it), + optional activation."""
+
+    def __init__(
+        self, bn: BatchNorm2d, activation: str | None, shape: tuple[int, ...]
+    ) -> None:
+        super().__init__(shape, "batchnorm" + (f"+{activation}" if activation else ""))
+        scale, shift = ops.bn_scale_shift(
+            bn.gamma, bn.beta, bn.running_mean, bn.running_var
+        )
+        self.scale = scale.astype(np.float32).reshape(1, -1, 1, 1)
+        self.shift = shift.astype(np.float32).reshape(1, -1, 1, 1)
+        self.activation = activation
+
+    def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
+        out = self._out(x.shape[0])
+        np.multiply(x, self.scale, out=out)
+        out += self.shift
+        return ops.apply_activation_(out, self.activation)
+
+
+class _Act(_BufferedStep):
+    """Standalone activation (writes a private buffer: the incoming array
+    may be the caller's input, which must not be clipped in place)."""
+
+    def __init__(self, activation: str, shape: tuple[int, ...]) -> None:
+        super().__init__(shape, activation)
+        self.activation = activation
+
+    def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
+        out = self._out(x.shape[0])
+        if self.activation == "relu":
+            return np.maximum(x, 0.0, out=out)
+        return np.clip(x, 0.0, 6.0, out=out)
+
+
+class _MaxPool(_BufferedStep):
+    """Max pooling by tap-wise maximum — no im2col copy."""
+
+    def __init__(
+        self,
+        layer: MaxPool2d,
+        in_shape: tuple[int, ...],
+        out_shape: tuple[int, ...],
+    ) -> None:
+        super().__init__(out_shape, f"maxpool{layer.kernel}x{layer.kernel}")
+        self.kernel = layer.kernel
+        self.stride = layer.stride
+        self.padding = layer.padding
+        self.in_shape = in_shape
+        self._pads: dict[int, np.ndarray] = {}
+
+    def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
+        n = x.shape[0]
+        out = self._out(n)
+        if self.padding:
+            pad = self._pads.get(n)
+            if pad is None:
+                c, h, w = self.in_shape
+                # zero padding, matching the eager kernel's constant pad
+                pad = np.zeros(
+                    (n, c, h + 2 * self.padding, w + 2 * self.padding),
+                    dtype=np.float32,
+                )
+                self._pads[n] = pad
+            p = self.padding
+            h, w = self.in_shape[1], self.in_shape[2]
+            pad[:, :, p : p + h, p : p + w] = x
+            x = pad
+        oh, ow = self.out_shape[1], self.out_shape[2]
+        first = True
+        for i in range(self.kernel):
+            rows = slice(i, i + self.stride * (oh - 1) + 1, self.stride)
+            for j in range(self.kernel):
+                cols_ = slice(j, j + self.stride * (ow - 1) + 1, self.stride)
+                window = x[:, :, rows, cols_]
+                if first:
+                    np.copyto(out, window)
+                    first = False
+                else:
+                    np.maximum(out, window, out=out)
+        return out
+
+    def release(self) -> None:
+        super().release()
+        self._pads.clear()
+
+
+class _GlobalAvgPool(_BufferedStep):
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        super().__init__((shape[0],), "globalavgpool")
+
+    def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
+        out = self._out(x.shape[0])
+        return np.mean(x, axis=(2, 3), out=out)
+
+
+class _Flatten(_Step):
+    label = "flatten"
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        self.out_shape = (int(np.prod(shape)),)
+
+    def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
+        return x.reshape(x.shape[0], -1)
+
+
+class _LinearStep(_BufferedStep):
+    """Linear with the transposed weight laid out once at compile time."""
+
+    def __init__(self, layer: Linear, shape: tuple[int, ...]) -> None:
+        super().__init__((layer.out_features,), "linear")
+        self.w_t = np.ascontiguousarray(layer.weight.T, dtype=np.float32)
+        self.bias = np.ascontiguousarray(layer.bias, dtype=np.float32)
+
+    def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
+        out = self._out(x.shape[0])
+        np.matmul(x, self.w_t, out=out)
+        out += self.bias
+        return out
+
+
+class _ResidualStep(_Step):
+    """Residual: compiled body/shortcut sub-plans + in-place add+act."""
+
+    def __init__(
+        self,
+        body: list[_Step],
+        shortcut: list[_Step] | None,
+        activation: str,
+        out_shape: tuple[int, ...],
+    ) -> None:
+        self.body = body
+        self.shortcut = shortcut
+        self.activation = activation
+        self.out_shape = out_shape
+        self.label = f"residual+{activation}"
+
+    def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
+        identity = x
+        if self.shortcut is not None:
+            for step in self.shortcut:
+                identity = step.run(identity, scratch)
+        out = x
+        for step in self.body:
+            out = step.run(out, scratch)
+        if np.may_share_memory(out, identity):  # defensive: plan buffers
+            out = out + identity  # are distinct, but a view could alias
+        else:
+            np.add(out, identity, out=out)
+        if self.activation == "relu":
+            np.maximum(out, 0.0, out=out)
+        return out
+
+    def release(self) -> None:
+        for step in self.body:
+            step.release()
+        for step in self.shortcut or ():
+            step.release()
+
+
+class _EagerStep(_Step):
+    """Fallback: run an unrecognized layer eagerly (no fusion)."""
+
+    def __init__(self, layer: Layer, shape: tuple[int, ...]) -> None:
+        self.layer = layer
+        self.out_shape = layer.output_shape(shape)
+        self.label = f"eager:{layer.kind}"
+
+    def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
+        return self.layer.forward(x)
+
+
+# ----------------------------------------------------------------------
+# plan builder
+
+
+def _flatten_layers(module: Layer) -> list[Layer]:
+    """Primitive layers and Residuals of a module tree, execution order."""
+    if isinstance(module, Sequential):
+        flat: list[Layer] = []
+        for child in module.layers:
+            flat.extend(_flatten_layers(child))
+        return flat
+    return [module]
+
+
+def _activation_of(layer: Layer) -> str | None:
+    if isinstance(layer, ReLU):
+        return "relu"
+    if isinstance(layer, ReLU6):
+        return "relu6"
+    return None
+
+
+def _foldable_bn(conv: Conv2d | DepthwiseConv2d, layer: Layer) -> BatchNorm2d | None:
+    if not isinstance(layer, BatchNorm2d):
+        return None
+    channels = (
+        conv.out_channels if isinstance(conv, Conv2d) else conv.channels
+    )
+    return layer if layer.channels == channels else None
+
+
+def _build_steps(
+    layers: list[Layer], in_shape: tuple[int, ...]
+) -> tuple[list[_Step], tuple[int, ...]]:
+    steps: list[_Step] = []
+    shape = in_shape
+    i = 0
+    while i < len(layers):
+        layer = layers[i]
+        if isinstance(layer, Residual):
+            body_steps, body_shape = _build_steps(
+                _flatten_layers(layer.body), shape
+            )
+            shortcut_steps = None
+            if layer.shortcut is not None:
+                shortcut_steps, sc_shape = _build_steps(
+                    _flatten_layers(layer.shortcut), shape
+                )
+                if sc_shape != body_shape:
+                    raise ValueError(
+                        f"residual shape mismatch: body {body_shape} "
+                        f"vs shortcut {sc_shape}"
+                    )
+            steps.append(
+                _ResidualStep(body_steps, shortcut_steps, layer.activation, body_shape)
+            )
+            shape = body_shape
+            i += 1
+        elif isinstance(layer, (Conv2d, DepthwiseConv2d)):
+            consumed = 1
+            bn = None
+            if i + consumed < len(layers):
+                bn = _foldable_bn(layer, layers[i + consumed])
+                if bn is not None:
+                    consumed += 1
+            activation = None
+            if i + consumed < len(layers):
+                activation = _activation_of(layers[i + consumed])
+                if activation is not None:
+                    consumed += 1
+            out_shape = layer.output_shape(shape)
+            label = "+bn" if bn is not None else ""
+            label += f"+{activation}" if activation else ""
+            if isinstance(layer, Conv2d):
+                if bn is not None:
+                    weight, bias = fold_batch_norm(layer.weight, layer.bias, bn)
+                else:
+                    weight, bias = layer.weight, layer.bias
+                steps.append(
+                    _FusedConv(
+                        weight,
+                        bias,
+                        layer.kernel,
+                        layer.stride,
+                        layer.padding,
+                        activation,
+                        shape,
+                        out_shape,
+                        f"conv{layer.kernel}x{layer.kernel}{label}",
+                    )
+                )
+            else:
+                if bn is not None:
+                    weight, bias = fold_batch_norm(
+                        layer.weight, None, bn, depthwise=True
+                    )
+                else:
+                    weight, bias = layer.weight, None
+                steps.append(
+                    _FusedDepthwise(
+                        weight,
+                        bias,
+                        layer.stride,
+                        layer.padding,
+                        activation,
+                        shape,
+                        out_shape,
+                        f"dwconv{layer.kernel}x{layer.kernel}{label}",
+                    )
+                )
+            shape = out_shape
+            i += consumed
+        elif isinstance(layer, BatchNorm2d):
+            consumed = 1
+            activation = None
+            if i + consumed < len(layers):
+                activation = _activation_of(layers[i + consumed])
+                if activation is not None:
+                    consumed += 1
+            steps.append(_BatchNormAct(layer, activation, shape))
+            i += consumed
+        elif isinstance(layer, (ReLU, ReLU6)):
+            steps.append(_Act(_activation_of(layer), shape))
+            i += 1
+        elif isinstance(layer, MaxPool2d):
+            out_shape = layer.output_shape(shape)
+            steps.append(_MaxPool(layer, shape, out_shape))
+            shape = out_shape
+            i += 1
+        elif isinstance(layer, GlobalAvgPool):
+            steps.append(_GlobalAvgPool(shape))
+            shape = layer.output_shape(shape)
+            i += 1
+        elif isinstance(layer, Flatten):
+            steps.append(_Flatten(shape))
+            shape = layer.output_shape(shape)
+            i += 1
+        elif isinstance(layer, Linear):
+            steps.append(_LinearStep(layer, shape))
+            shape = layer.output_shape(shape)
+            i += 1
+        else:
+            steps.append(_EagerStep(layer, shape))
+            shape = layer.output_shape(shape)
+            i += 1
+    return steps, shape
+
+
+def _iter_steps(steps: list[_Step]):
+    for step in steps:
+        yield step
+        if isinstance(step, _ResidualStep):
+            yield from _iter_steps(step.body)
+            yield from _iter_steps(step.shortcut or [])
+
+
+class CompiledModule(Layer):
+    """A fused, buffer-reusing execution plan — a drop-in ``Layer``.
+
+    ``output_shape`` / ``flops`` / ``parameters`` delegate to the source
+    module, so profiling arithmetic is unchanged; only ``forward`` runs
+    the optimized plan.  Compile once per (module, input shape); buffer
+    arenas are created lazily per batch size and reused across calls.
+    """
+
+    kind = "compiled"
+
+    def __init__(self, source: Layer, input_shape: tuple[int, ...]) -> None:
+        self.source = source
+        self.input_shape = tuple(int(s) for s in input_shape)
+        self.steps, self._out_shape = _build_steps(
+            _flatten_layers(source), self.input_shape
+        )
+        self._cols_elems = max(
+            (s.cols_elems for s in _iter_steps(self.steps)), default=0
+        )
+        self._tmp_elems = max(
+            (s.tmp_elems for s in _iter_steps(self.steps)), default=0
+        )
+        self._scratch: dict[int, _Scratch] = {}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if tuple(x.shape[1:]) != self.input_shape:
+            raise ValueError(
+                f"compiled for input shape {self.input_shape}, "
+                f"got {tuple(x.shape[1:])}"
+            )
+        x = np.ascontiguousarray(x, dtype=np.float32)
+        n = x.shape[0]
+        scratch = self._scratch.get(n)
+        if scratch is None:
+            scratch = _Scratch(n, self._cols_elems, self._tmp_elems)
+            self._scratch[n] = scratch
+        for step in self.steps:
+            x = step.run(x, scratch)
+        # plan buffers are rewritten by the next call — callers own a copy
+        return x.copy()
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return self.source.output_shape(input_shape)
+
+    def flops(self, input_shape: tuple[int, ...]) -> int:
+        return self.source.flops(input_shape)
+
+    def activation_size(self, input_shape: tuple[int, ...]) -> int:
+        return self.source.activation_size(input_shape)
+
+    def parameters(self) -> list[np.ndarray]:
+        return self.source.parameters()
+
+    def plan_summary(self) -> list[str]:
+        """Flat list of fused-step labels (nested steps indented with /)."""
+
+        def walk(steps: list[_Step], prefix: str) -> list[str]:
+            rows: list[str] = []
+            for step in steps:
+                rows.append(prefix + step.label)
+                if isinstance(step, _ResidualStep):
+                    rows.extend(walk(step.body, prefix + "  body/"))
+                    if step.shortcut is not None:
+                        rows.extend(walk(step.shortcut, prefix + "  shortcut/"))
+            return rows
+
+        return walk(self.steps, "")
+
+    def release_buffers(self) -> None:
+        """Free all per-batch arenas (they re-allocate on the next call)."""
+        self._scratch.clear()
+        for step in _iter_steps(self.steps):
+            step.release()
+
+
+def compile_module(module, input_shape: tuple[int, ...] | None = None) -> CompiledModule:
+    """Compile a module tree (or a ``BlockwiseModel``) into a fused plan.
+
+    ``input_shape`` is the per-sample shape, e.g. ``(3, 32, 32)``; it is
+    optional for :class:`~repro.dnn.resnet.BlockwiseModel`, whose own
+    ``input_shape`` is used.  The plan specializes on this shape (buffer
+    sizes, fused layouts) but accepts any batch size.
+    """
+    source = module
+    if not isinstance(module, Layer):
+        inner = getattr(module, "_as_sequential", None)
+        if inner is None:
+            raise TypeError(
+                f"cannot compile {type(module).__name__}: expected a Layer "
+                "or a BlockwiseModel"
+            )
+        source = inner
+        if input_shape is None:
+            input_shape = tuple(module.input_shape)
+    if input_shape is None:
+        raise ValueError("input_shape is required to compile a Layer")
+    return CompiledModule(source, tuple(input_shape))

@@ -37,6 +37,18 @@ class Module(Layer):
             params.extend(child.parameters())
         return params
 
+    def compile(self, input_shape: tuple[int, ...]):
+        """Compile this module into a fused execution plan.
+
+        Returns a :class:`repro.dnn.compile.CompiledModule` — a drop-in
+        ``Layer`` whose forward runs BN-folded, fused, buffer-reusing
+        kernels.  The plan snapshots current weights; re-compile after
+        pruning or fine-tuning.
+        """
+        from repro.dnn.compile import compile_module
+
+        return compile_module(self, input_shape)
+
 
 class Sequential(Module):
     """Run layers one after another."""

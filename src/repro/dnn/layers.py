@@ -250,7 +250,15 @@ class Flatten(Layer):
 
 
 class Linear(Layer):
-    """Fully connected layer."""
+    """Fully connected layer.
+
+    The GEMM wants the (in_features, out_features) transpose of the
+    stored weight; transposing per call yields a non-contiguous operand
+    that BLAS must repack every forward.  The layer therefore caches a
+    contiguous transposed copy, rebuilt lazily whenever the weight is
+    reassigned (pruning) or handed out for mutation (fine-tuning via
+    ``parameters()``).
+    """
 
     kind = "linear"
 
@@ -267,13 +275,32 @@ class Linear(Layer):
         self.weight = rng.normal(0.0, std, (out_features, in_features)).astype(np.float32)
         self.bias = np.zeros(out_features, dtype=np.float32)
 
+    @property
+    def weight(self) -> np.ndarray:
+        return self._weight
+
+    @weight.setter
+    def weight(self, value: np.ndarray) -> None:
+        self._weight = value
+        self._weight_t: np.ndarray | None = None
+
+    @property
+    def weight_t(self) -> np.ndarray:
+        """Contiguous ``weight.T``, cached until the weight changes."""
+        if self._weight_t is None:
+            self._weight_t = np.ascontiguousarray(self._weight.T)
+        return self._weight_t
+
     def forward(self, x: np.ndarray) -> np.ndarray:
-        return ops.linear(x, self.weight, self.bias)
+        return ops.linear(x, self.weight, self.bias, weight_t=self.weight_t)
 
     def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
         return (self.out_features,)
 
     def parameters(self) -> list[np.ndarray]:
+        # callers may mutate the returned arrays in place (fine-tuning
+        # does) — conservatively drop the cached transpose
+        self._weight_t = None
         return [self.weight, self.bias]
 
     def flops(self, input_shape: tuple[int, ...]) -> int:

@@ -93,12 +93,18 @@ def time_forward(fn, x: np.ndarray, repeats: int = 5, warmup: int = 1) -> float:
 
 
 def profile_model(
-    model: ResNet18, repeats: int = 5, warmup: int = 1
+    model: ResNet18, repeats: int = 5, warmup: int = 1, compiled: bool = False
 ) -> ModelProfile:
     """Profile each layer-block of ``model`` on a dummy tensor.
 
     Timing uses batch size 1 (per-inference cost, as consumed by the DOT
     compute constraint which scales cost by the task request rate).
+
+    With ``compiled=True`` each block is compiled into a fused execution
+    plan (:mod:`repro.dnn.compile`) and the plan's forward is timed —
+    the cost the serving runtime sees when it opts into compiled blocks.
+    FLOPs/memory figures stay analytic (identical either way); the eager
+    block still propagates the activation so downstream shapes match.
     """
     dummy = np.zeros((1, *model.input_shape), dtype=np.float32)
     profiles: list[BlockProfile] = []
@@ -106,7 +112,12 @@ def profile_model(
     shape: tuple[int, ...] = model.input_shape
     for name in BLOCK_NAMES:
         block = model.blocks[name]
-        elapsed = time_forward(block.forward, x, repeats=repeats, warmup=warmup)
+        timed = block.forward
+        if compiled:
+            from repro.dnn.compile import compile_module
+
+            timed = compile_module(block, shape).forward
+        elapsed = time_forward(timed, x, repeats=repeats, warmup=warmup)
         params = block.param_count()
         profiles.append(
             BlockProfile(

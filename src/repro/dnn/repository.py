@@ -111,6 +111,7 @@ def _profile_config(
     fine_tune_epochs: int,
     repeats: int,
     base_profile: ModelProfile,
+    compiled: bool = False,
 ) -> ProfiledConfig:
     model = _build_config_model(config, num_classes, input_size, width, seed)
     # the pruning accuracy drop is a function of the *full* model's
@@ -118,7 +119,7 @@ def _profile_config(
     full_model = build_resnet18(
         num_classes=num_classes, input_size=input_size, width=width, seed=seed
     )
-    profile: ModelProfile = profile_model(model, repeats=repeats)
+    profile: ModelProfile = profile_model(model, repeats=repeats, compiled=compiled)
     groups: list[GroupCost] = []
     for group_name, members in BLOCK_GROUPS:
         shared = _group_shared(config, members)
@@ -165,13 +166,20 @@ def profile_table_i(
     fine_tune_epochs: int = 100,
     repeats: int = 3,
     configs: dict[str, BlockConfig] | None = None,
+    compiled: bool = False,
 ) -> dict[str, ProfiledConfig]:
-    """Profile every Table I configuration (the scenario cost basis)."""
+    """Profile every Table I configuration (the scenario cost basis).
+
+    ``compiled=True`` times fused execution plans instead of eager
+    forwards (see :func:`repro.dnn.profiler.profile_model`), producing
+    the compute-cost catalog an engine-optimized deployment would feed
+    to the DOT solver.
+    """
     configs = configs or TABLE_I_CONFIGS
     base_model = build_resnet18(
         num_classes=num_classes, input_size=input_size, width=width, seed=seed
     )
-    base_profile = profile_model(base_model, repeats=repeats)
+    base_profile = profile_model(base_model, repeats=repeats, compiled=compiled)
     return {
         name: _profile_config(
             cfg,
@@ -182,6 +190,7 @@ def profile_table_i(
             fine_tune_epochs,
             repeats,
             base_profile,
+            compiled=compiled,
         )
         for name, cfg in configs.items()
     }

@@ -121,6 +121,17 @@ class BlockwiseModel:
     def flops(self) -> int:
         return self._as_sequential.flops(self.input_shape)
 
+    def compile(self):
+        """Compile the full model into a fused execution plan.
+
+        Returns a :class:`repro.dnn.compile.CompiledModule` over the
+        whole block sequence at this model's ``input_shape``.  The plan
+        snapshots current weights; re-compile after pruning/fine-tuning.
+        """
+        from repro.dnn.compile import compile_module
+
+        return compile_module(self)
+
 
 #: Backwards-compatible alias: ResNet-18 was the first architecture
 #: built on this container.

@@ -30,6 +30,7 @@ several coupled paths computes the shared trunk once.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -170,13 +171,55 @@ class BlockwiseRunner:
     (shared) blocks — fine-tuned suffixes always recompute.  The cache
     is keyed by ``(input_key, block-id prefix)``, so one input tensor
     evaluated under several paths reuses the shared trunk's activations.
+
+    The cache is a bounded LRU: a long-lived runtime would otherwise
+    retain one activation tensor per ``(input_key, prefix)`` forever.
+    ``cache_capacity=None`` removes the bound; evictions are counted in
+    ``cache_evictions`` next to the hit/miss counters.
+
+    With ``compile_blocks=True`` each block is compiled into a fused
+    execution plan (:mod:`repro.dnn.compile`) the first time it runs on
+    a given input shape, and the plan serves subsequent calls.  Plans
+    snapshot block weights — call :meth:`clear_compiled` after mutating
+    the underlying modules (pruning, fine-tuning).
     """
 
     modules: dict[str, Layer]
     cacheable: frozenset[str] = frozenset()
+    #: max cached activations; None = unbounded
+    cache_capacity: int | None = 256
+    compile_blocks: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
-    _cache: dict[tuple[int, tuple[str, ...]], np.ndarray] = field(default_factory=dict)
+    cache_evictions: int = 0
+    _cache: OrderedDict[tuple[int, tuple[str, ...]], np.ndarray] = field(
+        default_factory=OrderedDict
+    )
+    _compiled: dict[tuple[str, tuple[int, ...]], Layer] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity is not None and self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1 or None")
+
+    def _forward(self, block_id: str, x: np.ndarray) -> np.ndarray:
+        module = self.modules[block_id]
+        if not self.compile_blocks:
+            return module(x)
+        key = (block_id, tuple(x.shape[1:]))
+        plan = self._compiled.get(key)
+        if plan is None:
+            from repro.dnn.compile import compile_module
+
+            plan = compile_module(module, key[1])
+            self._compiled[key] = plan
+        return plan.forward(x)
+
+    def _remember(self, key: tuple[int, tuple[str, ...]], x: np.ndarray) -> None:
+        self._cache[key] = x
+        self._cache.move_to_end(key)
+        if self.cache_capacity is not None and len(self._cache) > self.cache_capacity:
+            self._cache.popitem(last=False)
+            self.cache_evictions += 1
 
     def run(self, path: Path, x: np.ndarray, input_key: int = 0) -> np.ndarray:
         missing = [b.block_id for b in path.blocks if b.block_id not in self.modules]
@@ -191,6 +234,7 @@ class BlockwiseRunner:
                 continue
             cached = self._cache.get((input_key, prefix))
             if cached is not None:
+                self._cache.move_to_end((input_key, prefix))
                 x = cached
                 start = i
                 self.cache_hits += 1
@@ -198,11 +242,15 @@ class BlockwiseRunner:
         if start == 0:
             self.cache_misses += 1
         for i in range(start, len(block_ids)):
-            x = self.modules[block_ids[i]](x)
+            x = self._forward(block_ids[i], x)
             prefix = tuple(block_ids[: i + 1])
             if all(bid in self.cacheable for bid in prefix):
-                self._cache[(input_key, prefix)] = x
+                self._remember((input_key, prefix), x)
         return x
 
     def clear(self) -> None:
         self._cache.clear()
+
+    def clear_compiled(self) -> None:
+        """Drop compiled plans (stale after mutating the modules)."""
+        self._compiled.clear()

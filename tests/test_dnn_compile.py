@@ -1,0 +1,247 @@
+"""Compiled engine: numerical parity with eager, interface equivalence.
+
+The compiled plan (BN folding, fused conv kernels, buffer arenas) must
+be indistinguishable from the eager engine to every consumer: same
+outputs to float32 tolerance, same ``flops``/``output_shape``
+arithmetic, stable across repeated calls on reused buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnn.compile import CompiledModule, compile_module, fold_batch_norm
+from repro.dnn.configs import TABLE_I_CONFIGS
+from repro.dnn.graph import Sequential
+from repro.dnn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Linear,
+    ReLU,
+    ReLU6,
+)
+from repro.dnn.mobilenet import build_mobilenetv2
+from repro.dnn.pruning import prune_resnet
+from repro.dnn.resnet import build_resnet18
+
+PARITY_TOL = 1e-4
+
+
+def _randomize_bn(module, rng, spread=0.5):
+    """Give every BN non-trivial statistics so folding is actually tested.
+
+    ``spread`` bounds how far gamma/var stray from 1 — deep stacks
+    (MobileNetV2 has ~35 BNs) need modest per-layer gain or activations
+    amplify until plain float32 accumulation error breaks the eager
+    engine too, which is not what this suite is measuring.
+    """
+    for layer in module.iter_layers():
+        if isinstance(layer, BatchNorm2d):
+            c = layer.channels
+            layer.gamma = rng.uniform(1 - spread, 1 + spread, c).astype(np.float32)
+            layer.beta = rng.normal(0.0, 0.2, c).astype(np.float32)
+            layer.running_mean = rng.normal(0.0, 0.5, c).astype(np.float32)
+            layer.running_var = rng.uniform(1 - spread, 1 + spread, c).astype(
+                np.float32
+            )
+
+
+def _assert_parity(model, batch_sizes=(1, 8), tol=PARITY_TOL, bn_spread=0.5):
+    rng = np.random.default_rng(0)
+    seq = model._as_sequential
+    _randomize_bn(seq, rng, spread=bn_spread)
+    compiled = compile_module(model)
+    for n in batch_sizes:
+        x = rng.standard_normal((n, *model.input_shape), dtype=np.float32)
+        eager = seq.forward(x)
+        fused = compiled.forward(x)
+        assert fused.shape == eager.shape
+        assert float(np.abs(fused - eager).max()) < tol
+
+
+class TestResNetParity:
+    @pytest.mark.parametrize("name", sorted(TABLE_I_CONFIGS))
+    def test_all_table_i_configs(self, name):
+        config = TABLE_I_CONFIGS[name]
+        model = build_resnet18(num_classes=10, input_size=16, width=8, seed=0)
+        if config.pruned:
+            prune_resnet(model, set(config.prunable_blocks), config.prune_ratio)
+        _assert_parity(model)
+
+    def test_large_input_stem_with_maxpool(self):
+        # >= 64 px uses the 7x7/stride-2 stem + 3x3 maxpool variant
+        model = build_resnet18(num_classes=10, input_size=64, width=8, seed=1)
+        _assert_parity(model)
+
+    def test_heavily_pruned_variant(self):
+        model = build_resnet18(num_classes=10, input_size=16, width=16, seed=2)
+        prune_resnet(model, {"layer1", "layer2", "layer3", "layer4"}, 0.8)
+        _assert_parity(model)
+
+
+class TestMobileNetParity:
+    @pytest.mark.parametrize("mult", [0.25, 0.5])
+    def test_width_multipliers(self, mult):
+        model = build_mobilenetv2(
+            num_classes=10, input_size=16, width_multiplier=mult, seed=0
+        )
+        _assert_parity(model, bn_spread=0.1)
+
+
+class TestStridesAndPaddings:
+    @pytest.mark.parametrize("kernel,stride,padding", [
+        (1, 1, 0),
+        (1, 2, 0),
+        (3, 1, 1),
+        (3, 2, 1),
+        (5, 1, 2),
+        (3, 1, 0),
+    ])
+    def test_fused_conv_geometries(self, kernel, stride, padding):
+        rng = np.random.default_rng(3)
+        seq = Sequential(
+            Conv2d(3, 6, kernel=kernel, stride=stride, padding=padding, rng=rng),
+            BatchNorm2d(6),
+            ReLU(),
+        )
+        _randomize_bn(seq, rng)
+        compiled = compile_module(seq, (3, 12, 12))
+        for n in (1, 8):
+            x = rng.standard_normal((n, 3, 12, 12), dtype=np.float32)
+            diff = np.abs(compiled.forward(x) - seq.forward(x)).max()
+            assert float(diff) < PARITY_TOL
+
+    @pytest.mark.parametrize("stride", [1, 2])
+    def test_fused_depthwise_geometries(self, stride):
+        rng = np.random.default_rng(4)
+        seq = Sequential(
+            DepthwiseConv2d(5, kernel=3, stride=stride, padding=1, rng=rng),
+            BatchNorm2d(5),
+            ReLU6(),
+        )
+        _randomize_bn(seq, rng)
+        compiled = compile_module(seq, (5, 9, 9))
+        for n in (1, 8):
+            x = rng.standard_normal((n, 5, 9, 9), dtype=np.float32)
+            diff = np.abs(compiled.forward(x) - seq.forward(x)).max()
+            assert float(diff) < PARITY_TOL
+
+
+class TestInterface:
+    def _model(self):
+        return build_resnet18(num_classes=10, input_size=16, width=8, seed=0)
+
+    def test_flops_and_output_shape_match_eager(self):
+        model = self._model()
+        seq = model._as_sequential
+        compiled = compile_module(model)
+        shape = model.input_shape
+        assert compiled.flops(shape) == seq.flops(shape)
+        assert compiled.output_shape(shape) == seq.output_shape(shape)
+        assert compiled.activation_size(shape) == seq.activation_size(shape)
+
+    def test_is_drop_in_layer(self):
+        compiled = compile_module(self._model())
+        assert isinstance(compiled, CompiledModule)
+        assert compiled.kind == "compiled"
+        assert len(compiled.parameters()) > 0
+
+    def test_repeated_calls_are_stable(self):
+        # plan buffers are reused across calls; outputs must not decay
+        compiled = compile_module(self._model())
+        x = np.random.default_rng(5).standard_normal((2, 3, 16, 16), dtype=np.float32)
+        first = compiled.forward(x)
+        for _ in range(3):
+            np.testing.assert_array_equal(compiled.forward(x), first)
+
+    def test_outputs_are_owned_copies(self):
+        compiled = compile_module(self._model())
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((1, 3, 16, 16), dtype=np.float32)
+        first = compiled.forward(x)
+        snapshot = first.copy()
+        compiled.forward(rng.standard_normal((1, 3, 16, 16), dtype=np.float32))
+        np.testing.assert_array_equal(first, snapshot)
+
+    def test_wrong_input_shape_rejected(self):
+        compiled = compile_module(self._model())
+        with pytest.raises(ValueError):
+            compiled.forward(np.zeros((1, 3, 8, 8), dtype=np.float32))
+
+    def test_plan_fuses_all_batchnorms(self):
+        compiled = compile_module(self._model())
+        labels = compiled.plan_summary()
+        assert labels
+        assert not any(label.lstrip().endswith("batchnorm") for label in labels)
+        assert any("conv" in label and "+bn" in label for label in labels)
+
+    def test_release_buffers_then_rerun(self):
+        compiled = compile_module(self._model())
+        x = np.random.default_rng(7).standard_normal((2, 3, 16, 16), dtype=np.float32)
+        first = compiled.forward(x)
+        compiled.release_buffers()
+        np.testing.assert_array_equal(compiled.forward(x), first)
+
+    def test_compile_rejects_non_layer(self):
+        with pytest.raises(TypeError):
+            compile_module(object())
+
+    def test_compile_layer_requires_input_shape(self):
+        with pytest.raises(ValueError):
+            compile_module(Sequential(ReLU()))
+
+    def test_module_compile_hook(self):
+        seq = Sequential(Conv2d(3, 4, kernel=3, stride=1, padding=1), ReLU())
+        compiled = seq.compile((3, 8, 8))
+        x = np.random.default_rng(8).standard_normal((1, 3, 8, 8), dtype=np.float32)
+        assert float(np.abs(compiled.forward(x) - seq.forward(x)).max()) < PARITY_TOL
+
+    def test_blockwise_model_compile_hook(self):
+        model = self._model()
+        compiled = model.compile()
+        assert compiled.input_shape == tuple(model.input_shape)
+
+
+class TestFoldBatchNorm:
+    def test_folding_matches_sequential_application(self):
+        rng = np.random.default_rng(9)
+        conv = Conv2d(3, 4, kernel=3, stride=1, padding=1, rng=rng)
+        bn = BatchNorm2d(4)
+        seq = Sequential(conv, bn)
+        _randomize_bn(seq, rng)
+        w, b = fold_batch_norm(conv.weight, conv.bias, bn)
+        folded = Conv2d(3, 4, kernel=3, stride=1, padding=1)
+        folded.weight, folded.bias = w, b
+        x = rng.standard_normal((2, 3, 8, 8), dtype=np.float32)
+        assert float(np.abs(folded.forward(x) - seq.forward(x)).max()) < PARITY_TOL
+
+
+class TestLinearWeightCache:
+    def test_weight_t_is_contiguous_and_correct(self):
+        layer = Linear(6, 4)
+        assert layer.weight_t.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(layer.weight_t, layer.weight.T)
+
+    def test_reassignment_invalidates(self):
+        layer = Linear(6, 4)
+        stale = layer.weight_t
+        layer.weight = np.ones((4, 6), dtype=np.float32)
+        assert layer.weight_t is not stale
+        np.testing.assert_array_equal(layer.weight_t, layer.weight.T)
+
+    def test_parameters_access_invalidates(self):
+        # fine-tuning mutates the arrays returned by parameters() in place
+        layer = Linear(6, 4)
+        _ = layer.weight_t
+        params = layer.parameters()
+        params[0][...] = 2.0
+        np.testing.assert_array_equal(layer.weight_t, layer.weight.T)
+
+    def test_forward_matches_manual_gemm(self):
+        layer = Linear(6, 4)
+        x = np.random.default_rng(10).standard_normal((3, 6), dtype=np.float32)
+        np.testing.assert_allclose(
+            layer.forward(x), x @ layer.weight.T + layer.bias, atol=1e-6
+        )

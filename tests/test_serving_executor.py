@@ -193,3 +193,60 @@ class TestBlockwiseRunner:
         runner.modules.pop("a:g3")
         with pytest.raises(KeyError):
             runner.run(path_a, np.zeros((1, 4)))
+
+    def test_cache_capacity_evicts_lru(self):
+        runner, path_a, _, _ = self._runner()
+        runner.cache_capacity = 2
+        x = np.random.default_rng(0).normal(size=(1, 4))
+        for key in (1, 2, 3):
+            runner.run(path_a, x, input_key=key)
+        assert runner.cache_evictions == 1
+        assert len(runner._cache) == 2
+        # key 1 was evicted: running it again misses; 3 still hits
+        runner.run(path_a, x, input_key=1)
+        assert runner.cache_hits == 0
+        runner.run(path_a, x, input_key=3)
+        assert runner.cache_hits == 1
+
+    def test_cache_hit_refreshes_recency(self):
+        runner, path_a, _, _ = self._runner()
+        runner.cache_capacity = 2
+        x = np.random.default_rng(0).normal(size=(1, 4))
+        runner.run(path_a, x, input_key=1)
+        runner.run(path_a, x, input_key=2)
+        runner.run(path_a, x, input_key=1)  # hit: 1 becomes most recent
+        runner.run(path_a, x, input_key=3)  # evicts 2, not 1
+        runner.run(path_a, x, input_key=1)
+        assert runner.cache_hits == 2
+
+    def test_unbounded_cache_never_evicts(self):
+        runner, path_a, _, _ = self._runner()
+        runner.cache_capacity = None
+        x = np.random.default_rng(0).normal(size=(1, 4))
+        for key in range(400):
+            runner.run(path_a, x, input_key=key)
+        assert runner.cache_evictions == 0
+        assert len(runner._cache) == 400
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BlockwiseRunner(modules={}, cache_capacity=0)
+
+    def test_compiled_blocks_match_eager(self):
+        runner, path_a, path_b, modules = self._runner()
+        compiled = BlockwiseRunner(
+            modules=modules,
+            cacheable=frozenset({"base:g1"}),
+            compile_blocks=True,
+        )
+        x = np.random.default_rng(0).normal(size=(2, 4)).astype(np.float32)
+        for path in (path_a, path_b):
+            np.testing.assert_allclose(
+                compiled.run(path, x, input_key=5),
+                runner.run(path, x, input_key=5),
+                atol=1e-5,
+            )
+        # one plan per (block, shape): trunk + both heads
+        assert len(compiled._compiled) == 3
+        compiled.clear_compiled()
+        assert not compiled._compiled
