@@ -17,13 +17,12 @@ crash, writing ``benchmarks/results/BENCH_engine_quick.json`` instead.
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import time
 
 import numpy as np
 
-from benchmarks._report import emit
+from benchmarks._report import emit, write_json
 from repro.analysis.report import format_table
 from repro.dnn.compile import compile_module
 from repro.dnn.configs import TABLE_I_CONFIGS
@@ -153,8 +152,7 @@ def main() -> int:
         json_path = REPO_ROOT / "benchmarks" / "results" / f"{name}.json"
     else:
         json_path = REPO_ROOT / "BENCH_engine.json"
-    json_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\nwrote {json_path}")
+    write_json(report, json_path)
 
     if report["max_abs_diff"] >= PARITY_TOL:
         print(

@@ -1,0 +1,207 @@
+"""Multi-core parallel backend — throughput vs process count.
+
+Beyond the paper: the serving runtime's forward passes ran on one core
+until :mod:`repro.serving.parallel` added shared-memory weight arenas
+and a process pool sharding batches across workers.  This bench
+measures the throughput scaling curve (images/s at batch 8 and 32) as
+the process count grows, across the Table I ResNet configurations (full
+and 80 %-pruned) and MobileNetV2, and verifies that parallel outputs
+match serial execution sample for sample.
+
+Scaling is bounded by the physical core budget — the committed numbers
+carry the machine's ``cpu_count``/``cpu_affinity`` in the
+``environment`` stanza, so a flat curve on a 1-core container is the
+honest result, not a regression.  BLAS threads are pinned to 1 in
+workers (see ``pin_blas_threads``), so the curve isolates process
+scaling.
+
+Results go to ``BENCH_parallel.json`` at the repo root (committed,
+machine-readable) plus a text table under ``benchmarks/results/``.
+``--quick`` is the CI smoke: one tiny config, 2 processes, parity
+asserted, nonzero exit on divergence; exits 0 with a notice where
+shared memory is unavailable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import time
+
+import numpy as np
+
+from benchmarks._report import emit, write_json
+from repro.analysis.report import format_table
+from repro.dnn.configs import TABLE_I_CONFIGS
+from repro.dnn.mobilenet import build_mobilenetv2
+from repro.dnn.pruning import prune_resnet
+from repro.dnn.resnet import build_resnet18
+from repro.serving.parallel import ParallelBackend, shared_memory_available
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+PARITY_TOL = 1e-6
+SEED = 0
+
+
+def _median_time(fn, x: np.ndarray, repeats: int, warmup: int = 1) -> float:
+    for _ in range(warmup):
+        fn(x)
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(x)
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def _resnet_config_model(name: str, width: int, input_size: int):
+    config = TABLE_I_CONFIGS[name]
+    model = build_resnet18(
+        num_classes=10, input_size=input_size, width=width, seed=SEED
+    )
+    if config.pruned:
+        prune_resnet(model, set(config.prunable_blocks), config.prune_ratio)
+    return model
+
+
+def _models(quick: bool):
+    """(label, BlockwiseModel) pairs for the requested scale."""
+    if quick:
+        return [("CONFIG A", _resnet_config_model("CONFIG A", 8, 16))]
+    width, input_size = 32, 32
+    pairs = [
+        (name, _resnet_config_model(name, width, input_size))
+        for name in TABLE_I_CONFIGS
+    ]
+    pairs.append(
+        (
+            "MobileNetV2-0.5",
+            build_mobilenetv2(
+                num_classes=10, input_size=input_size,
+                width_multiplier=0.5, seed=SEED,
+            ),
+        )
+    )
+    return pairs
+
+
+def run(quick: bool) -> dict:
+    if quick:
+        proc_counts, batches, repeats = [1, 2], [8], 3
+    else:
+        proc_counts, batches, repeats = [1, 2, 4], [8, 32], 5
+    rng = np.random.default_rng(SEED)
+    rows = []
+    for label, model in _models(quick):
+        inputs = {
+            n: rng.standard_normal((n, *model.input_shape), dtype=np.float32)
+            for n in batches
+        }
+        # serial reference outputs (num_procs=1 backend, compiled plans)
+        with ParallelBackend.for_model(model, num_procs=1) as serial:
+            reference = {n: serial.run_model(x) for n, x in inputs.items()}
+            serial_s = {
+                n: _median_time(serial.run_model, x, repeats)
+                for n, x in inputs.items()
+            }
+        for procs in proc_counts:
+            if procs == 1:
+                backend = None
+                times = serial_s
+                diffs = {n: 0.0 for n in batches}
+                mode = "serial"
+            else:
+                backend = ParallelBackend.for_model(
+                    model, num_procs=procs, min_shard=2
+                )
+                mode = backend.mode
+                times, diffs = {}, {}
+                for n, x in inputs.items():
+                    diffs[n] = float(
+                        np.abs(backend.run_model(x) - reference[n]).max()
+                    )
+                    times[n] = _median_time(backend.run_model, x, repeats)
+                backend.close()
+            for n in batches:
+                rows.append(
+                    {
+                        "model": label,
+                        "procs": procs,
+                        "mode": mode,
+                        "batch": n,
+                        "wall_ms": times[n] * 1e3,
+                        "throughput_ips": n / times[n],
+                        "speedup_vs_1proc": serial_s[n] / times[n],
+                        "max_abs_diff": diffs[n],
+                    }
+                )
+    return {
+        "bench": "bench_parallel",
+        "mode": "quick" if quick else "full",
+        "settings": {
+            "seed": SEED,
+            "repeats": repeats,
+            "batches": batches,
+            "proc_counts": proc_counts,
+            "parity_tolerance": PARITY_TOL,
+        },
+        "results": rows,
+        "max_abs_diff": max(r["max_abs_diff"] for r in rows),
+        "best_speedup": max(r["speedup_vs_1proc"] for r in rows),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: one tiny config, 2 processes, batch 8",
+    )
+    args = parser.parse_args()
+
+    if not shared_memory_available():
+        print("bench_parallel: shared memory unavailable on this platform; skipping")
+        return 0
+
+    report = run(quick=args.quick)
+    table = format_table(
+        ["model", "procs", "mode", "batch", "wall ms", "img/s", "speedup", "max|diff|"],
+        [
+            [
+                r["model"],
+                r["procs"],
+                r["mode"],
+                r["batch"],
+                f"{r['wall_ms']:.2f}",
+                f"{r['throughput_ips']:.1f}",
+                f"{r['speedup_vs_1proc']:.2f}x",
+                f"{r['max_abs_diff']:.1e}",
+            ]
+            for r in report["results"]
+        ],
+    )
+    summary = (
+        f"best speedup vs 1 proc: {report['best_speedup']:.2f}x   "
+        f"max parity diff: {report['max_abs_diff']:.1e}"
+    )
+    name = "BENCH_parallel_quick" if args.quick else "BENCH_parallel"
+    emit(name, table + "\n\n" + summary)
+
+    if args.quick:
+        json_path = REPO_ROOT / "benchmarks" / "results" / f"{name}.json"
+    else:
+        json_path = REPO_ROOT / "BENCH_parallel.json"
+    write_json(report, json_path)
+
+    if report["max_abs_diff"] >= PARITY_TOL:
+        print(
+            f"PARITY FAILURE: max|diff| {report['max_abs_diff']:.2e} "
+            f">= {PARITY_TOL:.0e}"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -77,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--window", type=float, default=0.005, help="batch window (s)")
     serve.add_argument("--workers", type=int, default=1)
     serve.add_argument(
+        "--procs", type=int, default=1,
+        help="data-parallel processes per batching window "
+        "(models repro.serving.parallel sharding)",
+    )
+    serve.add_argument(
         "--slice-margin", type=int, default=2,
         help="extra RBs per admitted slice (uplink headroom for batching)",
     )
@@ -287,6 +292,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         batch_window_s=args.window,
         queue_policy=args.policy,
         num_workers=args.workers,
+        num_procs=args.procs,
         prefix_cache=not args.no_prefix_cache,
         poisson=args.poisson,
         load_factor=args.load,
@@ -299,7 +305,8 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     print(
         f"serving {args.tasks} tasks for {args.duration:g} s "
         f"at {args.load:g}x offered load ({config.queue_policy}, "
-        f"prefix cache {'on' if config.prefix_cache else 'off'})"
+        f"prefix cache {'on' if config.prefix_cache else 'off'}, "
+        f"{config.num_procs} proc{'s' if config.num_procs != 1 else ''})"
     )
     print(
         format_table(

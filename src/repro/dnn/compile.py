@@ -25,9 +25,11 @@ Optimization passes
    are materialized once at compile time instead of per call.
 4. **Buffer arena** — all activation shapes are precomputed for the
    compiled input shape; every step owns preallocated output (and pad)
-   buffers per batch size, and a single shared im2col/temp scratch is
-   reused across layers and calls.  Steady-state forwards allocate
-   nothing but the final output copy.
+   buffers per ``(thread, batch size)``, and one im2col/temp scratch per
+   executing thread is reused across layers and calls.  Steady-state
+   forwards allocate nothing but the final output copy, and concurrent
+   ``forward`` calls from different threads (or the worker processes of
+   :mod:`repro.serving.parallel`) never share mutable buffers.
 
 :class:`CompiledModule` is a drop-in :class:`~repro.dnn.layers.Layer`
 (same ``forward`` / ``output_shape`` / ``flops`` interface, delegated to
@@ -40,6 +42,8 @@ buffers are private, so each forward returns a fresh copy of the output.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -83,9 +87,19 @@ def fold_batch_norm(
 
 
 class _Scratch:
-    """Shared per-batch scratch: one im2col buffer, one elementwise temp."""
+    """Per-(thread, batch) scratch: one im2col buffer, one elementwise temp.
 
-    def __init__(self, n: int, cols_elems: int, tmp_elems: int) -> None:
+    ``key`` is the ``(thread_id, batch)`` pair the plan allocated this
+    scratch under; steps key their own output/pad buffers by it, so two
+    threads running ``forward`` concurrently on one plan never write
+    into the same buffer.
+    """
+
+    def __init__(
+        self, key: tuple[int, int], n: int, cols_elems: int, tmp_elems: int
+    ) -> None:
+        self.key = key
+        self.n = n
         self.cols = np.empty(n * cols_elems, dtype=np.float32) if cols_elems else None
         self.tmp = np.empty(n * tmp_elems, dtype=np.float32) if tmp_elems else None
 
@@ -143,11 +157,12 @@ class _FusedConv(_Step):
             self.cols_elems = c * oh * ow
         else:
             self.cols_elems = c * kernel * kernel * oh * ow
-        self._bufs: dict[int, tuple[np.ndarray | None, np.ndarray]] = {}
+        self._bufs: dict[tuple[int, int], tuple[np.ndarray | None, np.ndarray]] = {}
 
-    def _buffers(self, n: int) -> tuple[np.ndarray | None, np.ndarray]:
-        bufs = self._bufs.get(n)
+    def _buffers(self, scratch: _Scratch) -> tuple[np.ndarray | None, np.ndarray]:
+        bufs = self._bufs.get(scratch.key)
         if bufs is None:
+            n = scratch.n
             c, h, w = self.in_shape
             pad = None
             if self.padding:
@@ -162,11 +177,11 @@ class _FusedConv(_Step):
                 dtype=np.float32,
             )
             bufs = (pad, out)
-            self._bufs[n] = bufs
+            self._bufs[scratch.key] = bufs
         return bufs
 
     def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
-        pad, out = self._buffers(x.shape[0])
+        pad, out = self._buffers(scratch)
         if pad is not None:
             p = self.padding
             h, w = self.in_shape[1], self.in_shape[2]
@@ -219,21 +234,22 @@ class _FusedDepthwise(_Step):
         # the fused kernel gathers one sample's columns at a time, so the
         # scratch need is per-sample regardless of batch size
         self.cols_elems = c * k * k * out_shape[1] * out_shape[2]
-        self._bufs: dict[int, tuple[np.ndarray | None, np.ndarray]] = {}
+        self._bufs: dict[tuple[int, int], tuple[np.ndarray | None, np.ndarray]] = {}
 
-    def _buffers(self, n: int) -> tuple[np.ndarray | None, np.ndarray]:
-        bufs = self._bufs.get(n)
+    def _buffers(self, scratch: _Scratch) -> tuple[np.ndarray | None, np.ndarray]:
+        bufs = self._bufs.get(scratch.key)
         if bufs is None:
+            n = scratch.n
             pad = None
             if self.padding:
                 pad = np.zeros((n, *self._padded), dtype=np.float32)
             out = np.empty((n, *self.out_shape), dtype=np.float32)
             bufs = (pad, out)
-            self._bufs[n] = bufs
+            self._bufs[scratch.key] = bufs
         return bufs
 
     def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
-        pad, out = self._buffers(x.shape[0])
+        pad, out = self._buffers(scratch)
         if pad is not None:
             p = self.padding
             h, w = self.in_shape[1], self.in_shape[2]
@@ -262,13 +278,13 @@ class _BufferedStep(_Step):
     def __init__(self, out_shape: tuple[int, ...], label: str) -> None:
         self.out_shape = out_shape
         self.label = label
-        self._bufs: dict[int, np.ndarray] = {}
+        self._bufs: dict[tuple[int, int], np.ndarray] = {}
 
-    def _out(self, n: int) -> np.ndarray:
-        out = self._bufs.get(n)
+    def _out(self, scratch: _Scratch) -> np.ndarray:
+        out = self._bufs.get(scratch.key)
         if out is None:
-            out = np.empty((n, *self.out_shape), dtype=np.float32)
-            self._bufs[n] = out
+            out = np.empty((scratch.n, *self.out_shape), dtype=np.float32)
+            self._bufs[scratch.key] = out
         return out
 
     def release(self) -> None:
@@ -290,7 +306,7 @@ class _BatchNormAct(_BufferedStep):
         self.activation = activation
 
     def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
-        out = self._out(x.shape[0])
+        out = self._out(scratch)
         np.multiply(x, self.scale, out=out)
         out += self.shift
         return ops.apply_activation_(out, self.activation)
@@ -305,7 +321,7 @@ class _Act(_BufferedStep):
         self.activation = activation
 
     def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
-        out = self._out(x.shape[0])
+        out = self._out(scratch)
         if self.activation == "relu":
             return np.maximum(x, 0.0, out=out)
         return np.clip(x, 0.0, 6.0, out=out)
@@ -325,13 +341,13 @@ class _MaxPool(_BufferedStep):
         self.stride = layer.stride
         self.padding = layer.padding
         self.in_shape = in_shape
-        self._pads: dict[int, np.ndarray] = {}
+        self._pads: dict[tuple[int, int], np.ndarray] = {}
 
     def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
         n = x.shape[0]
-        out = self._out(n)
+        out = self._out(scratch)
         if self.padding:
-            pad = self._pads.get(n)
+            pad = self._pads.get(scratch.key)
             if pad is None:
                 c, h, w = self.in_shape
                 # zero padding, matching the eager kernel's constant pad
@@ -339,7 +355,7 @@ class _MaxPool(_BufferedStep):
                     (n, c, h + 2 * self.padding, w + 2 * self.padding),
                     dtype=np.float32,
                 )
-                self._pads[n] = pad
+                self._pads[scratch.key] = pad
             p = self.padding
             h, w = self.in_shape[1], self.in_shape[2]
             pad[:, :, p : p + h, p : p + w] = x
@@ -368,7 +384,7 @@ class _GlobalAvgPool(_BufferedStep):
         super().__init__((shape[0],), "globalavgpool")
 
     def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
-        out = self._out(x.shape[0])
+        out = self._out(scratch)
         return np.mean(x, axis=(2, 3), out=out)
 
 
@@ -391,7 +407,7 @@ class _LinearStep(_BufferedStep):
         self.bias = np.ascontiguousarray(layer.bias, dtype=np.float32)
 
     def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
-        out = self._out(x.shape[0])
+        out = self._out(scratch)
         np.matmul(x, self.w_t, out=out)
         out += self.bias
         return out
@@ -610,7 +626,10 @@ class CompiledModule(Layer):
     ``output_shape`` / ``flops`` / ``parameters`` delegate to the source
     module, so profiling arithmetic is unchanged; only ``forward`` runs
     the optimized plan.  Compile once per (module, input shape); buffer
-    arenas are created lazily per batch size and reused across calls.
+    arenas are created lazily per ``(thread, batch size)`` and reused
+    across calls, so concurrent ``forward`` calls (serving worker
+    threads, the parallel backend's processes) are safe: each executing
+    thread owns a private scratch + output-buffer arena.
     """
 
     kind = "compiled"
@@ -627,7 +646,7 @@ class CompiledModule(Layer):
         self._tmp_elems = max(
             (s.tmp_elems for s in _iter_steps(self.steps)), default=0
         )
-        self._scratch: dict[int, _Scratch] = {}
+        self._scratch: dict[tuple[int, int], _Scratch] = {}
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if tuple(x.shape[1:]) != self.input_shape:
@@ -637,10 +656,11 @@ class CompiledModule(Layer):
             )
         x = np.ascontiguousarray(x, dtype=np.float32)
         n = x.shape[0]
-        scratch = self._scratch.get(n)
+        key = (threading.get_ident(), n)
+        scratch = self._scratch.get(key)
         if scratch is None:
-            scratch = _Scratch(n, self._cols_elems, self._tmp_elems)
-            self._scratch[n] = scratch
+            scratch = _Scratch(key, n, self._cols_elems, self._tmp_elems)
+            self._scratch[key] = scratch
         for step in self.steps:
             x = step.run(x, scratch)
         # plan buffers are rewritten by the next call — callers own a copy

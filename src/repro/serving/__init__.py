@@ -13,6 +13,9 @@ through the deployed DNN paths on the discrete-event simulator, with
   frozen blocks, plus a tensor-level blockwise runner;
 * :mod:`repro.serving.metrics` — per-task latency histograms
   (p50/p95/p99), deadline-miss rates and drop reasons;
+* :mod:`repro.serving.parallel` — a multi-core execution backend:
+  shared-memory weight arenas, a persistent process pool sharding
+  batches across workers, and an adaptive micro-batching dispatcher;
 * :mod:`repro.serving.runtime` — the end-to-end loop on the emulator
   clock, reusing the LTE uplink for transfer time.
 
@@ -23,6 +26,12 @@ Entry points: ``ServingRuntime.from_problem(problem).run()`` or the
 from repro.serving.admission import AdmissionGate, TokenBucket
 from repro.serving.executor import BatchExecutor, BlockwiseRunner, WindowReport
 from repro.serving.metrics import LatencyStats, ServingMetrics, TaskServingMetrics
+from repro.serving.parallel import (
+    MicroBatcher,
+    ParallelBackend,
+    WeightArena,
+    shared_memory_available,
+)
 from repro.serving.queueing import DropReason, ServingQueue, ServingRequest
 from repro.serving.runtime import ServingConfig, ServingRuntime
 
@@ -32,6 +41,8 @@ __all__ = [
     "BlockwiseRunner",
     "DropReason",
     "LatencyStats",
+    "MicroBatcher",
+    "ParallelBackend",
     "ServingConfig",
     "ServingMetrics",
     "ServingQueue",
@@ -39,5 +50,7 @@ __all__ = [
     "ServingRuntime",
     "TaskServingMetrics",
     "TokenBucket",
+    "WeightArena",
     "WindowReport",
+    "shared_memory_available",
 ]

@@ -32,12 +32,16 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.catalog import Path
 from repro.dnn.layers import Layer
 from repro.serving.queueing import ServingRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serving.parallel import ParallelBackend
 
 __all__ = ["WindowReport", "BatchExecutor", "BlockwiseRunner"]
 
@@ -109,6 +113,13 @@ class BatchExecutor:
     #: marginal cost of one extra request in a batch, in [0, 1]
     batch_efficiency: float = 0.5
     prefix_cache: bool = True
+    #: data-parallel processes per window (the simulated counterpart of
+    #: :class:`repro.serving.parallel.ParallelBackend` sharding)
+    num_procs: int = 1
+    #: fixed per-shard cost of the scatter/gather round-trip
+    shard_overhead_s: float = 0.0
+    #: smallest request count worth one shard
+    min_shard: int = 1
     _worker_free_at: list[float] = field(default_factory=list)
     windows: list[WindowReport] = field(default_factory=list)
     total_compute_s: float = 0.0
@@ -120,13 +131,34 @@ class BatchExecutor:
             raise ValueError("num_workers must be >= 1")
         if not 0.0 <= self.batch_efficiency <= 1.0:
             raise ValueError("batch_efficiency must be in [0, 1]")
+        if self.num_procs < 1:
+            raise ValueError("num_procs must be >= 1")
+        if self.shard_overhead_s < 0.0:
+            raise ValueError("shard_overhead_s must be >= 0")
+        if self.min_shard < 1:
+            raise ValueError("min_shard must be >= 1")
         self._worker_free_at = [0.0] * self.num_workers
+
+    def _data_parallel(self, cost: float, n: int) -> float:
+        """Shard a window's cost across ``num_procs`` processes.
+
+        Mirrors :meth:`ParallelBackend._shard_count`: a window of ``n``
+        requests splits into at most ``n // min_shard`` shards (batches
+        below ``2 * min_shard`` stay serial), each shard paying the
+        scatter/gather overhead on top of its slice of the compute.
+        """
+        if self.num_procs <= 1 or n < 2 * self.min_shard:
+            return cost
+        shards = min(self.num_procs, n // self.min_shard)
+        return cost / shards + self.shard_overhead_s
 
     def dispatch(self, requests: list[ServingRequest], now: float) -> WindowReport:
         """Execute one window; stamps the requests and returns the report."""
         if not requests:
             raise ValueError("cannot dispatch an empty window")
         merged, unmerged, merges = _window_costs(requests, self.batch_efficiency)
+        merged = self._data_parallel(merged, len(requests))
+        unmerged = self._data_parallel(unmerged, len(requests))
         cost = merged if self.prefix_cache else unmerged
         worker = min(range(self.num_workers), key=lambda w: self._worker_free_at[w])
         start = max(now, self._worker_free_at[worker])
@@ -182,6 +214,14 @@ class BlockwiseRunner:
     a given input shape, and the plan serves subsequent calls.  Plans
     snapshot block weights — call :meth:`clear_compiled` after mutating
     the underlying modules (pruning, fine-tuning).
+
+    With ``parallel`` set to a :class:`repro.serving.parallel.
+    ParallelBackend` over the same modules, every block forward is
+    delegated to the backend, which shards large batches across worker
+    processes.  Sharding is along the batch axis only — the runner
+    still memoizes prefix activations in-process, so the shared-trunk
+    cache semantics are unchanged (and the backend owns plan
+    compilation, so ``compile_blocks`` is ignored on that route).
     """
 
     modules: dict[str, Layer]
@@ -189,6 +229,8 @@ class BlockwiseRunner:
     #: max cached activations; None = unbounded
     cache_capacity: int | None = 256
     compile_blocks: bool = False
+    #: optional multi-core execution backend (see repro.serving.parallel)
+    parallel: "ParallelBackend | None" = None
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
@@ -202,6 +244,8 @@ class BlockwiseRunner:
             raise ValueError("cache_capacity must be >= 1 or None")
 
     def _forward(self, block_id: str, x: np.ndarray) -> np.ndarray:
+        if self.parallel is not None:
+            return self.parallel.run_block(block_id, x)
         module = self.modules[block_id]
         if not self.compile_blocks:
             return module(x)

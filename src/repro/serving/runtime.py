@@ -59,6 +59,11 @@ class ServingConfig:
     #: marginal batch cost factor (see :mod:`repro.serving.executor`)
     batch_efficiency: float = 0.5
     prefix_cache: bool = True
+    #: data-parallel processes per window (``repro serve-sim --procs``);
+    #: models :class:`repro.serving.parallel.ParallelBackend` sharding
+    num_procs: int = 1
+    #: per-shard scatter/gather overhead charged when ``num_procs > 1``
+    shard_overhead_s: float = 0.0005
     #: cap on requests fused into one window (None = drain everything)
     max_batch: int | None = None
     #: Poisson arrivals if True, deterministic spacing otherwise
@@ -80,6 +85,10 @@ class ServingConfig:
             raise ValueError("load_factor must be positive")
         if self.max_batch is not None and self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if self.num_procs < 1:
+            raise ValueError("num_procs must be >= 1")
+        if self.shard_overhead_s < 0.0:
+            raise ValueError("shard_overhead_s must be >= 0")
 
 
 @dataclass
@@ -147,6 +156,8 @@ class ServingRuntime:
             num_workers=cfg.num_workers,
             batch_efficiency=cfg.batch_efficiency,
             prefix_cache=cfg.prefix_cache,
+            num_procs=cfg.num_procs,
+            shard_overhead_s=cfg.shard_overhead_s,
         )
         # The ticket grants z_τ·λ_τ requests/s; devices offer
         # λ_τ·load_factor.  The bucket meters the granted *rate* against

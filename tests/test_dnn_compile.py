@@ -245,3 +245,48 @@ class TestLinearWeightCache:
         np.testing.assert_allclose(
             layer.forward(x), x @ layer.weight.T + layer.bias, atol=1e-6
         )
+
+
+class TestConcurrentForward:
+    """Regression: a shared scratch made concurrent forwards corrupt
+    each other; buffers are now keyed per (thread, batch size)."""
+
+    def test_two_threads_same_batch_match_eager(self):
+        import threading
+
+        model = build_resnet18(num_classes=5, input_size=16, width=16, seed=0)
+        compiled = compile_module(model)
+        rng = np.random.default_rng(11)
+        inputs = [
+            rng.standard_normal((4, *model.input_shape), dtype=np.float32)
+            for _ in range(2)
+        ]
+        expected = [model.forward(x) for x in inputs]
+        errors: list[float] = []
+        barrier = threading.Barrier(2)
+
+        def worker(idx: int) -> None:
+            barrier.wait()
+            for _ in range(12):
+                out = compiled.forward(inputs[idx])
+                errors.append(float(np.abs(out - expected[idx]).max()))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(errors) == 24
+        assert max(errors) < PARITY_TOL
+
+    def test_scratch_keyed_per_thread_and_batch(self):
+        model = build_resnet18(num_classes=5, input_size=16, width=8, seed=0)
+        compiled = compile_module(model)
+        x1 = np.zeros((1, *model.input_shape), dtype=np.float32)
+        x4 = np.zeros((4, *model.input_shape), dtype=np.float32)
+        compiled.forward(x1)
+        compiled.forward(x4)
+        import threading
+
+        ident = threading.get_ident()
+        assert set(compiled._scratch) == {(ident, 1), (ident, 4)}

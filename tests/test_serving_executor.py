@@ -250,3 +250,72 @@ class TestBlockwiseRunner:
         assert len(compiled._compiled) == 3
         compiled.clear_compiled()
         assert not compiled._compiled
+
+    def test_eviction_order_is_oldest_first(self):
+        runner, path_a, _, _ = self._runner()
+        runner.cache_capacity = 3
+        x = np.random.default_rng(0).normal(size=(1, 4))
+        for key in (1, 2, 3, 4, 5):
+            runner.run(path_a, x, input_key=key)
+        assert runner.cache_evictions == 2
+        # 1 and 2 left in insertion order; 3..5 remain resident
+        assert [key for key, _prefix in runner._cache] == [3, 4, 5]
+
+    def test_clear_compiled_keeps_cached_activations(self):
+        runner, path_a, _, modules = self._runner()
+        compiled = BlockwiseRunner(
+            modules=modules,
+            cacheable=frozenset({"base:g1"}),
+            compile_blocks=True,
+        )
+        x = np.random.default_rng(0).normal(size=(1, 4)).astype(np.float32)
+        compiled.run(path_a, x, input_key=7)
+        assert compiled._compiled and compiled._cache
+        compiled.clear_compiled()
+        assert not compiled._compiled
+        # activation cache untouched: the next run still hits the trunk
+        compiled.run(path_a, x, input_key=7)
+        assert compiled.cache_hits == 1
+
+
+class TestDataParallelCostModel:
+    def test_defaults_change_nothing(self):
+        reqs = [request(PATH_A, i) for i in range(8)]
+        base = BatchExecutor().dispatch(list(reqs), 0.0)
+        explicit = BatchExecutor(num_procs=1).dispatch(list(reqs), 0.0)
+        assert explicit.compute_s == pytest.approx(base.compute_s)
+
+    def test_sharding_divides_cost_plus_overhead(self):
+        reqs = [request(PATH_A, i) for i in range(8)]
+        serial = BatchExecutor().dispatch(list(reqs), 0.0)
+        sharded = BatchExecutor(
+            num_procs=4, shard_overhead_s=0.001, min_shard=1
+        ).dispatch(list(reqs), 0.0)
+        assert sharded.compute_s == pytest.approx(serial.compute_s / 4 + 0.001)
+        # the unshared counterfactual is scaled the same way
+        assert sharded.unshared_compute_s == pytest.approx(
+            serial.unshared_compute_s / 4 + 0.001
+        )
+
+    def test_small_windows_stay_serial(self):
+        reqs = [request(PATH_A, i) for i in range(3)]
+        serial = BatchExecutor().dispatch(list(reqs), 0.0)
+        sharded = BatchExecutor(
+            num_procs=4, shard_overhead_s=0.001, min_shard=2
+        ).dispatch(list(reqs), 0.0)  # 3 < 2 * min_shard
+        assert sharded.compute_s == pytest.approx(serial.compute_s)
+
+    def test_shards_capped_by_request_count(self):
+        reqs = [request(PATH_A, i) for i in range(4)]
+        serial = BatchExecutor().dispatch(list(reqs), 0.0)
+        sharded = BatchExecutor(num_procs=8, min_shard=1).dispatch(list(reqs), 0.0)
+        # 4 requests: at most 4 shards despite 8 processes
+        assert sharded.compute_s == pytest.approx(serial.compute_s / 4)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"num_procs": 0}, {"shard_overhead_s": -0.1}, {"min_shard": 0}],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BatchExecutor(**kwargs)

@@ -1,0 +1,65 @@
+"""Metrics edge cases: percentile summaries with 0 and 1 samples."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.serving.metrics import LatencyStats, ServingMetrics, TaskServingMetrics
+from repro.serving.queueing import DropReason
+
+
+class TestLatencyStatsEdgeCases:
+    def test_empty_sample_is_nan_everywhere(self):
+        stats = LatencyStats.from_samples([])
+        assert stats.count == 0
+        for value in (stats.mean_s, stats.p50_s, stats.p95_s, stats.p99_s, stats.max_s):
+            assert math.isnan(value)
+
+    def test_single_sample_percentiles_degenerate(self):
+        stats = LatencyStats.from_samples([0.042])
+        assert stats.count == 1
+        # with one sample every percentile IS the sample
+        assert stats.mean_s == pytest.approx(0.042)
+        assert stats.p50_s == pytest.approx(0.042)
+        assert stats.p95_s == pytest.approx(0.042)
+        assert stats.p99_s == pytest.approx(0.042)
+        assert stats.max_s == pytest.approx(0.042)
+
+    def test_two_samples_interpolate(self):
+        stats = LatencyStats.from_samples([0.010, 0.030])
+        assert stats.p50_s == pytest.approx(0.020)
+        assert stats.p95_s == pytest.approx(np.percentile([0.010, 0.030], 95))
+        assert stats.max_s == pytest.approx(0.030)
+
+
+class TestZeroRequestMetrics:
+    def _empty_task(self) -> TaskServingMetrics:
+        return TaskServingMetrics.from_requests(1, [])
+
+    def test_task_rates_are_nan_not_crash(self):
+        task = self._empty_task()
+        assert task.offered == 0 and task.completed == 0
+        assert math.isnan(task.deadline_miss_rate)
+        assert math.isnan(task.served_fraction)
+        assert all(count == 0 for count in task.drops.values())
+
+    def test_run_summary_with_no_traffic(self):
+        metrics = ServingMetrics(duration_s=5.0)
+        metrics.tasks[1] = self._empty_task()
+        assert metrics.completed == 0
+        assert metrics.throughput_rps == pytest.approx(0.0)
+        assert math.isnan(metrics.deadline_miss_rate)
+        rows = metrics.summary_rows()
+        assert len(rows) == 1
+        # p50/p95 cells are NaN but the row renders without raising
+        assert rows[0][0] == 1 and math.isnan(rows[0][3])
+
+    def test_zero_duration_throughput_is_nan(self):
+        assert math.isnan(ServingMetrics(duration_s=0.0).throughput_rps)
+
+    def test_drop_reasons_enumerated_even_when_empty(self):
+        task = self._empty_task()
+        assert set(task.drops) == set(DropReason)
