@@ -1,0 +1,310 @@
+"""Control-plane scaling — solver runtime and parity from 20 to 10⁶ tasks.
+
+Three measurements back the vectorized DOT control plane:
+
+1. **Parity at paper scale.**  The vector engine must return the exact
+   solution of the scalar reference — same chosen paths, bit-identical
+   ``(z, r)`` — on the Table IV large-scale scenario at all three
+   request loads.  Any divergence fails the bench.
+2. **Solve time vs population.**  Replicated large-scale instances
+   (20 service classes × N replicas) are solved with the aggregation
+   layer up to 10⁶ modeled users, with the direct per-task vector
+   engine as reference where tractable and the scalar engine below
+   that.  Aggregated and direct solves are checked for admission
+   equivalence.
+3. **Warm-start churn.**  At 10⁴ tasks, a 1% arrival/departure churn is
+   re-solved with the clique cache versus from scratch; the speedup is
+   recorded.
+
+Full mode writes ``BENCH_solver.json`` at the repo root (committed);
+``--quick`` runs a reduced grid for CI smoke, writes
+``benchmarks/results/BENCH_solver_quick.json`` and exits nonzero on any
+parity failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import time
+from dataclasses import replace
+
+from benchmarks._report import emit, write_json
+from repro.analysis.report import format_table
+from repro.core.aggregate import AggregateSolver
+from repro.core.catalog import Catalog
+from repro.core.heuristic import OffloaDNNSolver
+from repro.core.incremental import WarmStartSolver
+from repro.core.problem import DOTProblem
+from repro.workloads.largescale import (
+    RequestRate,
+    replicated_large_scale_problem,
+)
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+SEED = 0
+
+#: population sizes (modeled users = tasks) of the scaling curve
+FULL_USERS = [100, 1_000, 10_000, 100_000, 1_000_000]
+QUICK_USERS = [100, 1_000]
+#: largest population solved per-task with the vector/scalar engines
+DIRECT_CAP = 100_000
+SCALAR_CAP = 10_000
+#: admission-equivalence tolerance between aggregated and direct solves
+EQUIV_RTOL = 0.02
+
+
+def _solution_key(solution):
+    return [
+        (
+            tid,
+            a.path.path_id if a.path else None,
+            a.admission_ratio,
+            a.radio_blocks,
+        )
+        for tid, a in sorted(solution.assignments.items())
+    ]
+
+
+def paper_scale_parity() -> list[dict]:
+    """Bit-exact scalar-vs-vector parity on the Table IV scenario."""
+    from repro.workloads.largescale import large_scale_problem
+
+    rows = []
+    for rate in RequestRate:
+        problem = large_scale_problem(rate, seed=SEED)
+        scalar = OffloaDNNSolver(engine="scalar").solve(problem)
+        vector = OffloaDNNSolver(engine="vector").solve(problem)
+        rows.append(
+            {
+                "rate": rate.label,
+                "tasks": len(problem.tasks),
+                "bit_exact": _solution_key(scalar) == _solution_key(vector),
+                "scalar_total_s": scalar.total_time_s,
+                "vector_total_s": vector.total_time_s,
+                "weighted_admission": vector.weighted_admission_ratio,
+            }
+        )
+    return rows
+
+
+def scaling_curve(users_grid: list[int]) -> list[dict]:
+    rows = []
+    for users in users_grid:
+        replicas = max(1, users // 20)
+        problem = replicated_large_scale_problem(
+            RequestRate.MEDIUM, replicas, seed=SEED
+        )
+        solver = AggregateSolver()
+        start = time.perf_counter()
+        aggregated = solver.solve(problem)
+        agg_wall_s = time.perf_counter() - start
+        assert solver.last_plan is not None
+        row = {
+            "users": len(problem.tasks),
+            "groups": solver.last_plan.num_groups,
+            "aggregate_total_s": aggregated.total_time_s,
+            "aggregate_wall_s": agg_wall_s,
+            "weighted_admission": aggregated.weighted_admission_ratio,
+            "admitted_tasks": aggregated.admitted_task_count,
+            "direct_vector_s": None,
+            "scalar_s": None,
+            "admission_equivalent": None,
+        }
+        if len(problem.tasks) <= DIRECT_CAP:
+            direct = OffloaDNNSolver(engine="vector").solve(problem)
+            row["direct_vector_s"] = direct.total_time_s
+            ref = direct.weighted_admission_ratio
+            delta = abs(aggregated.weighted_admission_ratio - ref)
+            row["admission_equivalent"] = bool(
+                delta <= EQUIV_RTOL * max(1.0, abs(ref))
+            )
+        if len(problem.tasks) <= SCALAR_CAP:
+            scalar = OffloaDNNSolver(engine="scalar").solve(problem)
+            row["scalar_s"] = scalar.total_time_s
+        rows.append(row)
+    return rows
+
+
+def _churned(problem: DOTProblem, fraction: float):
+    """Replace the last ``fraction`` of tasks with fresh arrivals."""
+    tasks = list(problem.tasks)
+    count = max(1, int(len(tasks) * fraction))
+    survivors, victims = tasks[:-count], tasks[-count:]
+    next_id = max(t.task_id for t in tasks) + 1
+    catalog = Catalog()
+    catalog.paths_by_task = dict(problem.catalog.paths_by_task)
+    arrivals = []
+    for offset, victim in enumerate(victims):
+        arrival = replace(
+            victim, task_id=next_id + offset, name=f"arrival-{next_id + offset}"
+        )
+        catalog.paths_by_task[arrival.task_id] = problem.catalog.paths_by_task[
+            victim.task_id
+        ]
+        arrivals.append(arrival)
+    churned = DOTProblem(
+        tasks=tuple(survivors + arrivals),
+        catalog=catalog,
+        budgets=problem.budgets,
+        radio=problem.radio,
+        alpha=problem.alpha,
+    )
+    return churned, [v.task_id for v in victims]
+
+
+def _deshared(problem: DOTProblem) -> DOTProblem:
+    """Give every task its own path-tuple object.
+
+    Replicated instances share candidate-path tuples by identity, which
+    lets ``build_vector_tree``'s clique memo collapse the cold build to
+    O(distinct classes).  De-sharing models a heterogeneous population
+    where that memo cannot hit, isolating the warm-start cache's value.
+    """
+    catalog = Catalog()
+    catalog.paths_by_task = {
+        tid: tuple(list(paths))
+        for tid, paths in problem.catalog.paths_by_task.items()
+    }
+    return DOTProblem(
+        tasks=problem.tasks,
+        catalog=catalog,
+        budgets=problem.budgets,
+        radio=problem.radio,
+        alpha=problem.alpha,
+    )
+
+
+def warm_start_churn(
+    users: int, churn_fraction: float = 0.01, heterogeneous: bool = False
+) -> dict:
+    problem = replicated_large_scale_problem(
+        RequestRate.MEDIUM, max(1, users // 20), seed=SEED
+    )
+    if heterogeneous:
+        problem = _deshared(problem)
+    warm = WarmStartSolver()
+    warm.solve(problem)  # populate the clique cache
+    churned, departed = _churned(problem, churn_fraction)
+    for task_id in departed:
+        warm.forget(task_id)
+
+    start = time.perf_counter()
+    warm_solution = warm.solve(churned)
+    warm_wall_s = time.perf_counter() - start
+    start = time.perf_counter()
+    cold_solution = OffloaDNNSolver(engine="vector").solve(churned)
+    cold_wall_s = time.perf_counter() - start
+    return {
+        "users": len(problem.tasks),
+        "population": "heterogeneous" if heterogeneous else "replicated",
+        "churned_tasks": len(departed),
+        "cliques_reused": warm.last_reused,
+        "cliques_rebuilt": warm.last_built,
+        "warm_resolve_s": warm_wall_s,
+        "cold_resolve_s": cold_wall_s,
+        "speedup": cold_wall_s / warm_wall_s if warm_wall_s > 0 else None,
+        "bit_exact": _solution_key(warm_solution) == _solution_key(cold_solution),
+    }
+
+
+def run(quick: bool) -> dict:
+    parity = paper_scale_parity()
+    scaling = scaling_curve(QUICK_USERS if quick else FULL_USERS)
+    churn_users = 1_000 if quick else 10_000
+    warm = [
+        warm_start_churn(churn_users, heterogeneous=False),
+        warm_start_churn(churn_users, heterogeneous=True),
+    ]
+    parity_ok = (
+        all(r["bit_exact"] for r in parity)
+        and all(r["admission_equivalent"] is not False for r in scaling)
+        and all(w["bit_exact"] for w in warm)
+    )
+    return {
+        "bench": "bench_solver",
+        "mode": "quick" if quick else "full",
+        "settings": {
+            "seed": SEED,
+            "users_grid": QUICK_USERS if quick else FULL_USERS,
+            "direct_cap": DIRECT_CAP,
+            "scalar_cap": SCALAR_CAP,
+            "equivalence_rtol": EQUIV_RTOL,
+            "churn_fraction": 0.01,
+        },
+        "paper_scale_parity": parity,
+        "scaling": scaling,
+        "warm_start": warm,
+        "parity_ok": parity_ok,
+    }
+
+
+def _fmt_s(value) -> str:
+    return "-" if value is None else f"{value:.4f}"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: populations 100/1000, 1000-task churn",
+    )
+    args = parser.parse_args()
+
+    report = run(quick=args.quick)
+
+    parity_table = format_table(
+        ["rate", "tasks", "bit exact", "scalar s", "vector s"],
+        [
+            [
+                r["rate"],
+                r["tasks"],
+                str(r["bit_exact"]),
+                f"{r['scalar_total_s']:.4f}",
+                f"{r['vector_total_s']:.4f}",
+            ]
+            for r in report["paper_scale_parity"]
+        ],
+    )
+    scale_table = format_table(
+        ["users", "groups", "aggregate s", "direct s", "scalar s", "w.adm"],
+        [
+            [
+                r["users"],
+                r["groups"],
+                _fmt_s(r["aggregate_total_s"]),
+                _fmt_s(r["direct_vector_s"]),
+                _fmt_s(r["scalar_s"]),
+                f"{r['weighted_admission']:.2f}",
+            ]
+            for r in report["scaling"]
+        ],
+    )
+    warm_lines = []
+    for warm in report["warm_start"]:
+        warm_lines.append(
+            f"warm-start churn @ {warm['users']} {warm['population']} tasks: "
+            f"{warm['warm_resolve_s']:.4f} s vs cold "
+            f"{warm['cold_resolve_s']:.4f} s "
+            f"({warm['speedup']:.1f}x, reused {warm['cliques_reused']} "
+            f"cliques, bit exact {warm['bit_exact']})"
+        )
+    warm_line = "\n".join(warm_lines)
+    name = "BENCH_solver_quick" if args.quick else "BENCH_solver"
+    emit(name, parity_table + "\n\n" + scale_table + "\n\n" + warm_line)
+
+    if args.quick:
+        json_path = REPO_ROOT / "benchmarks" / "results" / f"{name}.json"
+    else:
+        json_path = REPO_ROOT / "BENCH_solver.json"
+    write_json(report, json_path)
+
+    if not report["parity_ok"]:
+        print("PARITY FAILURE: see the report above")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

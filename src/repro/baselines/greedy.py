@@ -28,8 +28,8 @@ class GreedyNoSharingSolver:
     admission_floor: float = 1e-6
 
     def solve(self, problem: DOTProblem) -> DOTSolution:
-        start = time.perf_counter()
         tree = build_tree(problem)
+        start = time.perf_counter()
         solution = DOTSolution()
         remaining_memory = problem.budgets.memory_gb
         placed = []
@@ -67,5 +67,6 @@ class GreedyNoSharingSolver:
                 task=vertex.task, path=path, admission_ratio=z, radio_blocks=r
             )
         solution.solve_time_s = time.perf_counter() - start
+        solution.tree_build_time_s = tree.build_time_s
         solution.solver_name = self.name
         return solution

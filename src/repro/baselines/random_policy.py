@@ -24,9 +24,9 @@ class RandomPathSolver:
     admission_floor: float = 1e-6
 
     def solve(self, problem: DOTProblem) -> DOTSolution:
+        tree = build_tree(problem)
         start = time.perf_counter()
         rng = np.random.default_rng(self.seed)
-        tree = build_tree(problem)
         state = BranchState()
         placed = []
         solution = DOTSolution()
@@ -56,5 +56,6 @@ class RandomPathSolver:
                 task=vertex.task, path=vertex.path, admission_ratio=z, radio_blocks=r
             )
         solution.solve_time_s = time.perf_counter() - start
+        solution.tree_build_time_s = tree.build_time_s
         solution.solver_name = self.name
         return solution

@@ -46,6 +46,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     large.add_argument("--seed", type=int, default=0)
 
+    scale = sub.add_parser(
+        "solve-scale",
+        help="solve a replicated large-scale instance (10^4-10^6 users)",
+    )
+    scale.add_argument(
+        "--users", type=int, default=10_000,
+        help="modeled users (rounded up to a multiple of 20 tasks)",
+    )
+    scale.add_argument(
+        "--rate", choices=["low", "medium", "high"], default="medium"
+    )
+    scale.add_argument(
+        "--no-aggregate", action="store_true",
+        help="solve per-task with the vector engine instead of aggregating",
+    )
+    scale.add_argument("--seed", type=int, default=0)
+
     emulate = sub.add_parser("emulate", help="run the Fig. 11 emulation")
     emulate.add_argument("--tasks", type=int, default=5)
     emulate.add_argument("--duration", type=float, default=20.0, help="seconds")
@@ -169,6 +186,42 @@ def _cmd_solve_large(args: argparse.Namespace) -> int:
             f"inference {solution.total_inference_compute_s:.2f}/"
             f"{problem.budgets.compute_time_s} s"
         )
+    return 0
+
+
+def _cmd_solve_scale(args: argparse.Namespace) -> int:
+    from repro.core.aggregate import AggregateSolver
+    from repro.core.heuristic import OffloaDNNSolver
+    from repro.workloads.largescale import RequestRate, replicated_large_scale_problem
+
+    rate = RequestRate[args.rate.upper()]
+    replicas = max(1, -(-args.users // 20))
+    problem = replicated_large_scale_problem(rate, replicas, seed=args.seed)
+    if args.no_aggregate:
+        solution = OffloaDNNSolver(engine="vector").solve(problem)
+    else:
+        solver = AggregateSolver()
+        solution = solver.solve(problem)
+    print(
+        f"[{solution.solver_name}] {len(problem.tasks)} tasks "
+        f"({rate.label} rate)"
+    )
+    if not args.no_aggregate:
+        assert solver.last_plan is not None
+        print(
+            f"aggregated to {solver.last_plan.num_groups} meta-tasks "
+            f"({solver.last_plan.compression:.0f}x compression)"
+        )
+    print(
+        f"admitted {solution.admitted_task_count}/{len(problem.tasks)}  "
+        f"weighted admission {solution.weighted_admission_ratio:.2f}  "
+        f"RBs {solution.total_radio_blocks:.1f}/{problem.budgets.radio_blocks}"
+    )
+    print(
+        f"tree build {solution.tree_build_time_s:.4f} s  "
+        f"solve {solution.solve_time_s:.4f} s  "
+        f"total {solution.total_time_s:.4f} s"
+    )
     return 0
 
 
@@ -404,6 +457,7 @@ def _cmd_solve_file(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "solve-small": _cmd_solve_small,
     "solve-large": _cmd_solve_large,
+    "solve-scale": _cmd_solve_scale,
     "emulate": _cmd_emulate,
     "profile": _cmd_profile,
     "reproduce": _cmd_reproduce,

@@ -19,7 +19,9 @@ from repro.core.solution import Assignment, DOTSolution
 from repro.core.objective import objective_value, check_constraints
 from repro.core.heuristic import OffloaDNNSolver
 from repro.core.optimal import OptimalSolver
-from repro.core.incremental import discount_problem
+from repro.core.incremental import WarmStartSolver, discount_problem
+from repro.core.aggregate import AggregateSolver, AggregationPlan, aggregate_problem
+from repro.core.tree import VectorTree, build_vector_tree
 from repro.core.serialize import dump_problem, dump_solution, load_problem, load_solution
 
 __all__ = [
@@ -36,6 +38,12 @@ __all__ = [
     "check_constraints",
     "OffloaDNNSolver",
     "OptimalSolver",
+    "WarmStartSolver",
+    "AggregateSolver",
+    "AggregationPlan",
+    "aggregate_problem",
+    "VectorTree",
+    "build_vector_tree",
     "discount_problem",
     "dump_problem",
     "dump_solution",

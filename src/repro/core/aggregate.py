@@ -1,0 +1,237 @@
+"""Task aggregation: the 10⁴–10⁶-user control plane.
+
+At metro scale most admission requests are *replicas*: thousands of
+devices running the same CV method with the same accuracy/latency class,
+the same quality set and the same per-RB capacity.  The DOT decision for
+two such tasks is interchangeable — they see the same candidate paths
+and the same constraints — so the control plane need not carry one tree
+clique per device.
+
+:func:`aggregate_problem` groups the tasks of a DOT instance by their
+*decision signature* and builds a meta-problem over one representative
+per group.  :class:`AggregateSolver` then
+
+1. runs the vectorized first-branch selection on the meta-problem
+   (path/quality choice is per *group*, which is exact: every member
+   would pick the same variant);
+2. replays the admission cascade over the group weights: each round
+   computes one member's ``(z, r)`` against the live pools with the
+   closed-form subproblem and assigns it to as many remaining members
+   as the pools allow in one subtraction.  A pool-bound member yields a
+   run of one, so the replay degrades to the per-task cascade exactly
+   where it matters and stays O(#groups) everywhere else;
+3. expands back to per-task assignments (members in ascending task-id
+   order, all sharing the representative's chosen ``Path`` object).
+
+The expansion is feasibility-preserving by construction; it is *not*
+promised bit-identical to the per-task scalar solve when distinct
+groups share a priority level (the scalar cascade would interleave
+their members by task id, the replay keeps groups contiguous).  The
+test suite checks feasibility and admission-equivalence instead.
+
+Grouping keys on the *identity* of the candidate-path tuple
+(``id(paths)``), not its value: two tasks are poolable only when they
+share the very same catalog entry, which is how the replicated
+workloads are built (see :mod:`repro.workloads.largescale`) and the
+only case where equality is O(1) at 10⁶ tasks.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.core.catalog import Catalog, Path
+from repro.core.heuristic import OffloaDNNSolver
+from repro.core.problem import DOTProblem
+from repro.core.solution import Assignment, DOTSolution
+from repro.core.subproblem import BranchItem, _best_admission_for_item
+from repro.core.task import Task
+from repro.core.tree import build_vector_tree
+
+__all__ = ["TaskGroup", "AggregationPlan", "aggregate_problem", "AggregateSolver"]
+
+
+@dataclass(frozen=True)
+class TaskGroup:
+    """Tasks sharing one decision signature."""
+
+    representative: Task
+    #: member task ids, ascending (includes the representative)
+    member_ids: tuple[int, ...]
+
+    @property
+    def weight(self) -> int:
+        return len(self.member_ids)
+
+
+@dataclass(frozen=True)
+class AggregationPlan:
+    """The meta-problem plus the bookkeeping to expand its solution."""
+
+    problem: DOTProblem
+    meta_problem: DOTProblem
+    #: representative task id -> group
+    groups: dict[int, TaskGroup]
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def compression(self) -> float:
+        """Tasks per meta-task (1.0 = no aggregation happened)."""
+        return len(self.problem.tasks) / max(1, len(self.groups))
+
+
+def _signature(task: Task, paths: tuple[Path, ...], bits_per_rb: float):
+    return (
+        id(paths),
+        task.method,
+        task.priority,
+        task.request_rate,
+        task.min_accuracy,
+        task.max_latency_s,
+        task.qualities,
+        bits_per_rb,
+    )
+
+
+def aggregate_problem(problem: DOTProblem) -> AggregationPlan:
+    """Group interchangeable tasks into a meta-problem of representatives."""
+    buckets: dict[tuple, list[Task]] = {}
+    for task in problem.tasks_by_priority():
+        paths = problem.catalog.paths_for(task)
+        sig = _signature(task, paths, problem.radio.bits_per_rb(task))
+        buckets.setdefault(sig, []).append(task)
+
+    reps: list[Task] = []
+    groups: dict[int, TaskGroup] = {}
+    meta_catalog = Catalog()
+    for members in buckets.values():
+        # tasks_by_priority breaks ties by ascending task id, so the
+        # first member is the group's canonical representative and
+        # member_ids are already sorted
+        rep = members[0]
+        reps.append(rep)
+        # assign the shared tuple directly to keep its identity (the
+        # warm-start cache and re-aggregation key on it)
+        meta_catalog.paths_by_task[rep.task_id] = problem.catalog.paths_for(rep)
+        groups[rep.task_id] = TaskGroup(
+            representative=rep,
+            member_ids=tuple(t.task_id for t in members),
+        )
+    meta_problem = DOTProblem(
+        tasks=tuple(reps),
+        catalog=meta_catalog,
+        budgets=problem.budgets,
+        radio=problem.radio,
+        alpha=problem.alpha,
+    )
+    return AggregationPlan(problem=problem, meta_problem=meta_problem, groups=groups)
+
+
+@dataclass
+class AggregateSolver:
+    """OffloaDNN over meta-tasks, expanded to per-task assignments.
+
+    Wraps a first-branch :class:`OffloaDNNSolver` (``explore_branches``
+    must be 1 and ``slice_margin_rbs`` 0 — branch exploration and margin
+    spreading are defined on per-task cascades, not weighted replays).
+    """
+
+    base: OffloaDNNSolver = field(default_factory=OffloaDNNSolver)
+    name: str = "OffloaDNN-aggregated"
+    #: plan of the most recent solve, for inspection
+    last_plan: AggregationPlan | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.base.explore_branches != 1:
+            raise ValueError("aggregation requires explore_branches == 1")
+        if self.base.slice_margin_rbs != 0:
+            raise ValueError("aggregation requires slice_margin_rbs == 0")
+
+    def solve(self, problem: DOTProblem) -> DOTSolution:
+        build_start = time.perf_counter()
+        plan = aggregate_problem(problem)
+        self.last_plan = plan
+        vtree = build_vector_tree(plan.meta_problem)
+        build_time = time.perf_counter() - build_start
+
+        start = time.perf_counter()
+        chosen = self.base._select_branch_vector(plan.meta_problem, vtree)
+        solution = self._allocate_groups(problem, plan, chosen)
+        solution.solve_time_s = time.perf_counter() - start
+        solution.tree_build_time_s = build_time
+        solution.solver_name = self.name
+        return solution
+
+    def _allocate_groups(
+        self,
+        problem: DOTProblem,
+        plan: AggregationPlan,
+        chosen: list[tuple[int, object]],
+    ) -> DOTSolution:
+        budgets = problem.budgets
+        floor_z = self.base.admission_floor
+        remaining_radio = float(budgets.radio_blocks)
+        remaining_compute = float(budgets.compute_time_s)
+        tasks_by_id = {t.task_id: t for t in problem.tasks}
+        solution = DOTSolution()
+        for rep_id, vertex in chosen:
+            group = plan.groups[rep_id]
+            members = group.member_ids
+            if vertex is None:
+                for member_id in members:
+                    solution.assignments[member_id] = Assignment(
+                        task=tasks_by_id[member_id],
+                        path=None,
+                        admission_ratio=0.0,
+                        radio_blocks=0,
+                    )
+                continue
+            item = BranchItem(
+                task=vertex.task, path=vertex.path, bits_per_rb=vertex.bits_per_rb
+            )
+            compute_per_z = vertex.task.request_rate * vertex.path.compute_time_s
+            index = 0
+            while index < len(members):
+                z, r = _best_admission_for_item(
+                    item, remaining_radio, remaining_compute, budgets.radio_blocks
+                )
+                if z < floor_z:
+                    break
+                radio_demand = z * r
+                compute_demand = z * compute_per_z
+                run = len(members) - index
+                if radio_demand > 0:
+                    run = min(
+                        run, math.floor(remaining_radio / radio_demand + 1e-9)
+                    )
+                if compute_demand > 0:
+                    run = min(
+                        run, math.floor(remaining_compute / compute_demand + 1e-9)
+                    )
+                # the member the closed form was computed for always fits
+                run = max(1, run)
+                for member_id in members[index : index + run]:
+                    solution.assignments[member_id] = Assignment(
+                        task=tasks_by_id[member_id],
+                        path=vertex.path,
+                        admission_ratio=z,
+                        radio_blocks=r,
+                    )
+                remaining_radio = max(0.0, remaining_radio - run * radio_demand)
+                remaining_compute = max(
+                    0.0, remaining_compute - run * compute_demand
+                )
+                index += run
+            for member_id in members[index:]:
+                solution.assignments[member_id] = Assignment(
+                    task=tasks_by_id[member_id],
+                    path=None,
+                    admission_ratio=0.0,
+                    radio_blocks=0,
+                )
+        return solution

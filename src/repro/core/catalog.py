@@ -114,7 +114,14 @@ class Catalog:
     def all_blocks(self) -> dict[str, Block]:
         """Every distinct block in the catalog, keyed by ``block_id``."""
         blocks: dict[str, Block] = {}
+        # replicated workloads map many task ids to the *same* path
+        # tuple; scanning it once keeps validation O(distinct paths)
+        # instead of O(tasks x paths) at 10^6 tasks
+        seen_tuples: set[int] = set()
         for paths in self.paths_by_task.values():
+            if id(paths) in seen_tuples:
+                continue
+            seen_tuples.add(id(paths))
             for path in paths:
                 for block in path.blocks:
                     known = blocks.setdefault(block.block_id, block)

@@ -68,6 +68,11 @@ def objective_breakdown(problem: DOTProblem, solution: DOTSolution) -> Objective
         for task in problem.tasks
     )
     training = solution.total_training_cost_s / budgets.training_budget_s
+    # a zero-capacity pool admits nothing, so its normalized load term
+    # is zero for any solver-produced solution; the inf fallback keeps
+    # hand-built infeasible solutions from dividing by zero
+    radio_cap = float(budgets.radio_blocks) or float("inf")
+    compute_cap = budgets.compute_time_s or float("inf")
     radio = 0.0
     inference = 0.0
     for task in problem.tasks:
@@ -76,8 +81,8 @@ def objective_breakdown(problem: DOTProblem, solution: DOTSolution) -> Objective
             continue
         assert assignment.path is not None
         rate = assignment.admitted_rate
-        radio += rate * assignment.radio_blocks / budgets.radio_blocks
-        inference += rate * assignment.path.compute_time_s / budgets.compute_time_s
+        radio += rate * assignment.radio_blocks / radio_cap
+        inference += rate * assignment.path.compute_time_s / compute_cap
     return ObjectiveBreakdown(
         rejection=rejection,
         training=training,

@@ -39,8 +39,13 @@ class OptimalSolver:
     name: str = "Optimum"
 
     def solve(self, problem: DOTProblem, tree: SolutionTree | None = None) -> DOTSolution:
-        start = time.perf_counter()
+        build_start = time.perf_counter()
+        prebuilt = tree is not None
         tree = tree if tree is not None else build_tree(problem)
+        build_time = (
+            tree.build_time_s if prebuilt else time.perf_counter() - build_start
+        )
+        start = time.perf_counter()
         bound = tree.num_branches()
         if self.allow_reject:
             bound = 1
@@ -101,6 +106,7 @@ class OptimalSolver:
                 }
             )
         best_solution.solve_time_s = time.perf_counter() - start
+        best_solution.tree_build_time_s = build_time
         best_solution.solver_name = self.name
         best_solution.branches_explored = branches_explored  # type: ignore[attr-defined]
         return best_solution

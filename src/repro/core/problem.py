@@ -17,7 +17,14 @@ __all__ = ["Budgets", "RadioModel", "DOTProblem"]
 
 @dataclass(frozen=True)
 class Budgets:
-    """Edge and radio capacity limits."""
+    """Edge and radio capacity limits.
+
+    Compute, memory and radio capacities may be zero: a zero-headroom
+    instance describes a momentarily exhausted platform (the online
+    churn case), and every solver then rejects all tasks rather than
+    the caller having to special-case it.  The training normalizer
+    ``Ct`` stays strictly positive because it divides the objective.
+    """
 
     #: available inference compute time ``C`` (device-seconds per second)
     compute_time_s: float
@@ -29,14 +36,14 @@ class Budgets:
     radio_blocks: int
 
     def __post_init__(self) -> None:
-        if self.compute_time_s <= 0:
-            raise ValueError("compute budget must be positive")
+        if self.compute_time_s < 0:
+            raise ValueError("compute budget must be >= 0")
         if self.training_budget_s <= 0:
             raise ValueError("training budget must be positive")
-        if self.memory_gb <= 0:
-            raise ValueError("memory budget must be positive")
-        if self.radio_blocks <= 0:
-            raise ValueError("radio budget must be positive")
+        if self.memory_gb < 0:
+            raise ValueError("memory budget must be >= 0")
+        if self.radio_blocks < 0:
+            raise ValueError("radio budget must be >= 0")
 
 
 @dataclass(frozen=True)

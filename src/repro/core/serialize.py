@@ -216,6 +216,7 @@ def solution_to_dict(solution: DOTSolution) -> dict[str, Any]:
         "version": FORMAT_VERSION,
         "solver_name": solution.solver_name,
         "solve_time_s": solution.solve_time_s,
+        "tree_build_time_s": solution.tree_build_time_s,
         "assignments": assignments,
     }
 
@@ -237,6 +238,8 @@ def solution_from_dict(data: dict[str, Any], problem: DOTProblem) -> DOTSolution
     solution = DOTSolution(
         solver_name=data.get("solver_name", ""),
         solve_time_s=data.get("solve_time_s", 0.0),
+        # absent in pre-scaling dumps, where solve_time_s was end-to-end
+        tree_build_time_s=data.get("tree_build_time_s", 0.0),
     )
     for entry in data["assignments"]:
         task = problem.task(entry["task_id"])

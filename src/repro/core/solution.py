@@ -51,9 +51,19 @@ class DOTSolution:
     """A complete solution: one assignment per task."""
 
     assignments: dict[int, Assignment] = field(default_factory=dict)
-    #: wall-clock seconds the solver took (Fig. 6 input)
+    #: wall-clock seconds of selection + allocation, excluding tree
+    #: construction — uniform whether the solver built the tree itself
+    #: or was handed a pre-built one
     solve_time_s: float = 0.0
+    #: wall-clock seconds spent building the solution tree (0 for
+    #: solvers that use none, e.g. SEM-O-RAN)
+    tree_build_time_s: float = 0.0
     solver_name: str = ""
+
+    @property
+    def total_time_s(self) -> float:
+        """End-to-end solver time (tree build + solve) — Fig. 6 input."""
+        return self.tree_build_time_s + self.solve_time_s
 
     def assignment(self, task: Task | int) -> Assignment:
         task_id = task.task_id if isinstance(task, Task) else task

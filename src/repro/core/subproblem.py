@@ -41,6 +41,10 @@ __all__ = [
     "solve_branch_convex",
 ]
 
+#: tie-break tolerance of the admission scan: a candidate must beat the
+#: incumbent by more than this to displace it (ties prefer smaller r)
+_SCAN_EPS = 1e-12
+
 
 @dataclass(frozen=True)
 class BranchItem:
@@ -105,6 +109,48 @@ class BranchAllocation:
             raise ValueError("admission and radio vectors disagree in length")
 
 
+def _candidate_rbs(
+    r_latency: int,
+    r_upper: int,
+    rate_bits: float,
+    bits_per_rb: float,
+    remaining_radio: float,
+    z_compute: float,
+) -> list[int]:
+    """The integer RB counts at which ``z(r)`` can change regime.
+
+    ``z(r) = min(z_rate(r), z_radio(r), z_compute)`` is the minimum of a
+    nondecreasing line, a nonincreasing hyperbola and a constant, so its
+    maximum over ``[r_latency, r_upper]`` — and the first integer within
+    the scan tolerance of it — lies at an interval endpoint or next to
+    one of the pairwise crossings.  Every crossing contributes its
+    neighbouring integers, which keeps the scan equivalent to the full
+    enumeration (proved empirically in the parity test suite).
+    """
+    candidates = {r_latency, min(r_latency + 1, r_upper), r_upper}
+    crossings: list[float] = []
+    if rate_bits > 0 and bits_per_rb > 0:
+        slope = bits_per_rb / rate_bits
+        # z_rate meets the flat caps (compute bound, full admission)
+        crossings.append(min(1.0, z_compute) / slope)
+        crossings.append(1.0 / slope)
+        if remaining_radio > 0:
+            # z_rate meets the declining radio bound: r² = remaining/slope
+            crossings.append(math.sqrt(remaining_radio / slope))
+    if remaining_radio > 0 and z_compute > 0:
+        # the radio bound drops below the compute bound
+        crossings.append(remaining_radio / z_compute)
+    for x in crossings:
+        if not math.isfinite(x):
+            continue
+        x = min(max(x, float(r_latency)), float(r_upper))
+        base = math.floor(x)
+        for r in (base - 1, base, base + 1, base + 2):
+            if r_latency <= r <= r_upper:
+                candidates.add(r)
+    return sorted(candidates)
+
+
 def _best_admission_for_item(
     item: BranchItem,
     remaining_radio: float,
@@ -113,10 +159,53 @@ def _best_admission_for_item(
 ) -> tuple[float, int]:
     """Largest feasible ``z`` (and its cheapest ``r``) for one item.
 
-    Enumerates candidate integer RB counts; for each ``r``, the maximal
-    admission is bounded by the slice rate (1e), the radio consumption
-    ``z·r`` against the remaining pool (1d), and the remaining compute
-    (1c).  Ties on ``z`` prefer the smaller ``r``.
+    Closed form: instead of enumerating every integer in
+    ``[r_latency, r_upper]`` (O(R) per item), scan only the O(1)
+    candidate counts where the admission bound can peak — the interval
+    endpoints and the integers surrounding the crossings of the rate
+    (1e), radio (1d) and compute (1c) bounds.  The scan applies the same
+    update rule as the full enumeration (see
+    :func:`_best_admission_for_item_reference`), so ties on ``z`` still
+    prefer the smaller ``r``.
+    """
+    r_latency = item.min_latency_rbs()
+    if r_latency > max_rbs:
+        return 0.0, 0
+    rate_bits = item.task.request_rate * item.path.bits_per_image
+    compute_per_unit_z = item.task.request_rate * item.compute_time_s
+    z_compute = (
+        1.0
+        if compute_per_unit_z <= 0
+        else min(1.0, remaining_compute / compute_per_unit_z)
+    )
+    if z_compute <= 0:
+        return 0.0, 0
+
+    best_z, best_r = 0.0, 0
+    r_upper = min(max_rbs, max(r_latency, item.min_rate_rbs(1.0)))
+    for r in _candidate_rbs(
+        r_latency, r_upper, rate_bits, item.bits_per_rb, remaining_radio, z_compute
+    ):
+        z_rate = min(1.0, r * item.bits_per_rb / rate_bits) if rate_bits > 0 else 1.0
+        z_radio = min(1.0, remaining_radio / r) if r > 0 else 1.0
+        z = min(z_rate, z_radio, z_compute)
+        if z > best_z + _SCAN_EPS:
+            best_z, best_r = z, r
+    if best_z <= 1e-9:
+        return 0.0, 0
+    return best_z, best_r
+
+
+def _best_admission_for_item_reference(
+    item: BranchItem,
+    remaining_radio: float,
+    remaining_compute: float,
+    max_rbs: int,
+) -> tuple[float, int]:
+    """The original O(R) enumeration, kept as the parity oracle.
+
+    The tests assert :func:`_best_admission_for_item` returns exactly
+    the same ``(z, r)`` pair across randomized items and pool states.
     """
     r_latency = item.min_latency_rbs()
     if r_latency > max_rbs:
@@ -137,7 +226,7 @@ def _best_admission_for_item(
         z_rate = min(1.0, r * item.bits_per_rb / rate_bits) if rate_bits > 0 else 1.0
         z_radio = min(1.0, remaining_radio / r) if r > 0 else 1.0
         z = min(z_rate, z_radio, z_compute)
-        if z > best_z + 1e-12:
+        if z > best_z + _SCAN_EPS:
             best_z, best_r = z, r
     if best_z <= 1e-9:
         return 0.0, 0
@@ -199,6 +288,11 @@ def solve_branch_convex(
     n = len(items)
     if n == 0:
         return BranchAllocation(admission=[], radio_blocks=[])
+    if budgets.radio_blocks <= 0 or budgets.compute_time_s <= 0:
+        # zero-headroom instance (e.g. an exhausted online platform):
+        # nothing can be admitted, and the normalized objective below
+        # would divide by the zero budget
+        return BranchAllocation(admission=[0.0] * n, radio_blocks=[0] * n)
 
     lam = np.array([it.task.request_rate for it in items])
     prio = np.array([it.task.priority for it in items])
@@ -258,10 +352,17 @@ def solve_branch_convex(
             rbs.append(0)
             continue
         ri = max(int(r[i]), item.min_latency_rbs())
+        if ri <= 0:
+            admission.append(0.0)
+            rbs.append(0)
+            continue
+        rate_bits = lam[i] * beta[i]
         zi = min(
             z[i],
-            ri * item.bits_per_rb / (lam[i] * beta[i]),
-            remaining_radio / ri if ri else 0.0,
+            # a zero-bits quality level (beta == 0) puts no load on the
+            # slice, so the rate constraint (1e) never binds
+            ri * item.bits_per_rb / rate_bits if rate_bits > 0 else 1.0,
+            remaining_radio / ri,
             remaining_compute / (lam[i] * comp[i]) if comp[i] > 0 else 1.0,
         )
         zi = float(np.clip(zi, 0.0, 1.0))

@@ -22,6 +22,9 @@ class QualityLevel:
     ``bits_per_image`` is ``β(q)``; ``accuracy_factor`` multiplies the
     accuracy a DNN path attains on full-quality input (semantic
     compression trades bits for accuracy, the SEM-O-RAN mechanism).
+    ``bits_per_image == 0`` is legal and models inputs already present
+    at the edge (cached or pre-staged frames): such a task consumes no
+    slice bandwidth beyond its 1-RB control minimum.
     """
 
     name: str
@@ -29,8 +32,8 @@ class QualityLevel:
     accuracy_factor: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.bits_per_image <= 0:
-            raise ValueError("bits_per_image must be positive")
+        if self.bits_per_image < 0:
+            raise ValueError("bits_per_image must be >= 0")
         if not 0.0 < self.accuracy_factor <= 1.0:
             raise ValueError("accuracy_factor must be in (0, 1]")
 

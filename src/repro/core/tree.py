@@ -16,14 +16,28 @@ demand can never fit the radio capacity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 
-from repro.core.catalog import Path
+import numpy as np
+
+from repro.core.catalog import Block, Path
 from repro.core.problem import DOTProblem
 from repro.core.subproblem import minimum_latency_rbs
-from repro.core.task import Task
+from repro.core.task import QualityLevel, Task
 
-__all__ = ["Vertex", "Clique", "BranchState", "SolutionTree", "build_tree"]
+__all__ = [
+    "Vertex",
+    "Clique",
+    "BranchState",
+    "SolutionTree",
+    "build_tree",
+    "BlockRegistry",
+    "VectorClique",
+    "VectorTree",
+    "build_task_clique",
+    "build_vector_tree",
+]
 
 
 @dataclass(frozen=True)
@@ -129,6 +143,8 @@ class SolutionTree:
     cliques: list[Clique]
     #: vertices removed by the (1f)/(1g) feasibility filter, per task id
     filtered_out: dict[int, int] = field(default_factory=dict)
+    #: wall-clock seconds spent constructing the tree (0 if hand-built)
+    build_time_s: float = 0.0
 
     def num_branches(self) -> int:
         """Branches in the complete tree (product of clique sizes)."""
@@ -155,6 +171,19 @@ def _vertex_feasible(vertex: Vertex, problem: DOTProblem) -> bool:
     return True
 
 
+def _variant_path(path: Path, quality: QualityLevel) -> Path:
+    """The path re-expressed at ``quality`` (verbatim for its own)."""
+    if quality == path.quality:
+        return path
+    return replace(path, path_id=f"{path.path_id}@{quality.name}", quality=quality)
+
+
+def _variant_path_id(path: Path, quality: QualityLevel) -> str:
+    if quality == path.quality:
+        return path.path_id
+    return f"{path.path_id}@{quality.name}"
+
+
 def _expand_qualities(path: Path, task: Task) -> list[Path]:
     """One path variant per quality level ``q ∈ Q_τ``.
 
@@ -162,25 +191,12 @@ def _expand_qualities(path: Path, task: Task) -> list[Path]:
     picking a lower quality is the semantic-compression lever of the
     formulation.  Tasks with a single quality keep the path verbatim.
     """
-    from dataclasses import replace
-
-    variants: list[Path] = []
-    for quality in task.qualities:
-        if quality == path.quality:
-            variants.append(path)
-        else:
-            variants.append(
-                replace(
-                    path,
-                    path_id=f"{path.path_id}@{quality.name}",
-                    quality=quality,
-                )
-            )
-    return variants
+    return [_variant_path(path, quality) for quality in task.qualities]
 
 
 def build_tree(problem: DOTProblem) -> SolutionTree:
     """Construct the feasibility-filtered, compute-time-sorted tree."""
+    start = time.perf_counter()
     cliques: list[Clique] = []
     filtered: dict[int, int] = {}
     for task in problem.tasks_by_priority():
@@ -193,4 +209,277 @@ def build_tree(problem: DOTProblem) -> SolutionTree:
         feasible = [v for v in vertices if _vertex_feasible(v, problem)]
         filtered[task.task_id] = len(vertices) - len(feasible)
         cliques.append(Clique(task=task, vertices=feasible))
-    return SolutionTree(problem=problem, cliques=cliques, filtered_out=filtered)
+    return SolutionTree(
+        problem=problem,
+        cliques=cliques,
+        filtered_out=filtered,
+        build_time_s=time.perf_counter() - start,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized tree construction (the 10⁴–10⁶-task control plane)
+# ---------------------------------------------------------------------------
+
+
+class BlockRegistry:
+    """Interned block table backing the vectorized cliques.
+
+    Maps ``block_id`` to a dense index so clique traversal can compute
+    incremental memory with array arithmetic instead of per-vertex
+    Python set operations.  The registry is append-only and may outlive
+    a single problem: the warm-start solver shares one across churn
+    re-solves, and per-``Path`` derived rows (block indices, compute
+    time, total memory) are cached by object identity so replicated
+    workloads sharing path tuples pay the derivation once.
+    """
+
+    def __init__(self) -> None:
+        self._index: dict[str, int] = {}
+        self._memory: list[float] = []
+        self._memory_arr: np.ndarray | None = None
+        # id(path) -> (path, block index row, compute_time_s, memory_gb)
+        self._path_rows: dict[int, tuple[Path, np.ndarray, float, float]] = {}
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def intern(self, block: Block) -> int:
+        index = self._index.get(block.block_id)
+        if index is None:
+            index = len(self._index)
+            self._index[block.block_id] = index
+            self._memory.append(block.memory_gb)
+            self._memory_arr = None
+        return index
+
+    def path_entry(self, path: Path) -> tuple[np.ndarray, float, float]:
+        """(block index row, compute time, total memory) for a path."""
+        cached = self._path_rows.get(id(path))
+        if cached is not None and cached[0] is path:
+            return cached[1], cached[2], cached[3]
+        row = np.array([self.intern(b) for b in path.blocks], dtype=np.int64)
+        compute = path.compute_time_s
+        memory = sum(b.memory_gb for b in path.blocks)
+        self._path_rows[id(path)] = (path, row, compute, memory)
+        return row, compute, memory
+
+    def block_memory(self) -> np.ndarray:
+        """Per-index memory (GB), rebuilt lazily after growth."""
+        if self._memory_arr is None or len(self._memory_arr) != len(self._memory):
+            self._memory_arr = np.array(self._memory, dtype=np.float64)
+        return self._memory_arr
+
+
+@dataclass
+class VectorClique:
+    """One task's feasible (path × quality) variants as flat arrays.
+
+    Variants are stored in the scalar clique order — sorted by
+    ``(compute, memory, bits, path_id)`` — after the radio-independent
+    (1f)/(1g) feasibility filters.  The radio filter ``min_latency_rbs
+    ≤ R`` is applied per solve (a mask over ``min_latency_rbs``), which
+    keeps a clique reusable across budget changes: the warm-start cache
+    relies on that.
+    """
+
+    task: Task
+    bits_per_rb: float
+    #: the catalog tuple this clique was derived from (identity check
+    #: for cache validity)
+    source_paths: tuple[Path, ...]
+    #: surviving (base path, quality) pairs in clique order
+    variants: list[tuple[Path, QualityLevel]]
+    compute_s: np.ndarray
+    memory_gb: np.ndarray
+    bits_per_image: np.ndarray
+    accuracy: np.ndarray
+    min_latency_rbs: np.ndarray
+    #: concatenated registry rows of the variants' blocks
+    block_rows: np.ndarray
+    #: row pointers into ``block_rows`` (len(variants) + 1)
+    block_ptr: np.ndarray
+    #: variant path ids in clique order (ordering-ablation tie-break)
+    path_ids: list[str]
+    #: variants removed by the (1f)/(1g) filters (radio filter excluded)
+    filtered_static: int
+
+    def __len__(self) -> int:
+        return len(self.variants)
+
+    def variant_path(self, index: int) -> Path:
+        path, quality = self.variants[index]
+        return _variant_path(path, quality)
+
+    def variant_blocks(self, index: int) -> np.ndarray:
+        return self.block_rows[self.block_ptr[index] : self.block_ptr[index + 1]]
+
+
+def build_task_clique(
+    task: Task,
+    paths: tuple[Path, ...],
+    bits_per_rb: float,
+    registry: BlockRegistry,
+) -> VectorClique:
+    """One vectorized pass over a task's path × quality variants.
+
+    Replicates the scalar pipeline exactly — same feasibility
+    comparisons, same float expressions for the latency RB demand, same
+    sort keys — so a materialized clique is vertex-for-vertex identical
+    to :func:`build_tree`'s.
+    """
+    qualities = task.qualities
+    n_q = len(qualities)
+    n_p = len(paths)
+    rows: list[np.ndarray] = []
+    comp_path = np.empty(n_p, dtype=np.float64)
+    mem_path = np.empty(n_p, dtype=np.float64)
+    acc_path = np.empty(n_p, dtype=np.float64)
+    for j, path in enumerate(paths):
+        row, compute, memory = registry.path_entry(path)
+        rows.append(row)
+        comp_path[j] = compute
+        mem_path[j] = memory
+        acc_path[j] = path.accuracy
+
+    q_factor = np.array([q.accuracy_factor for q in qualities], dtype=np.float64)
+    q_bits = np.array([q.bits_per_image for q in qualities], dtype=np.float64)
+
+    # variant layout: paths outer, qualities inner (the scalar order)
+    comp = np.repeat(comp_path, n_q)
+    mem = np.repeat(mem_path, n_q)
+    acc = np.repeat(acc_path, n_q) * np.tile(q_factor, n_p)
+    bits = np.tile(q_bits, n_p)
+
+    # (1f) accuracy and (1g) compute-vs-latency, radio-independent
+    feasible = (acc >= task.min_accuracy - 1e-12) & (comp < task.max_latency_s)
+    kept = np.flatnonzero(feasible)
+    filtered_static = int(comp.size - kept.size)
+
+    comp_k = comp[kept]
+    mem_k = mem[kept]
+    acc_k = acc[kept]
+    bits_k = bits[kept]
+    # slack > 0 is guaranteed by the (1g) filter; replicate the exact
+    # float expression of minimum_latency_rbs
+    slack = task.max_latency_s - comp_k
+    r_lat = np.maximum(
+        1, np.ceil(bits_k / (bits_per_rb * slack) - 1e-12).astype(np.int64)
+    )
+
+    pairs = [(paths[i // n_q], qualities[i % n_q]) for i in kept]
+    pids = [_variant_path_id(p, q) for p, q in pairs]
+    # the scalar Vertex.sort_key, applied with identical tuple semantics
+    order = sorted(
+        range(len(pairs)),
+        key=lambda i: (comp_k[i], mem_k[i], bits_k[i], pids[i]),
+    )
+    order_arr = np.array(order, dtype=np.int64)
+
+    sorted_rows = [rows[kept[i] // n_q] for i in order]
+    if sorted_rows:
+        block_rows = np.concatenate(sorted_rows)
+        lengths = np.array([r.size for r in sorted_rows], dtype=np.int64)
+    else:
+        block_rows = np.empty(0, dtype=np.int64)
+        lengths = np.empty(0, dtype=np.int64)
+    block_ptr = np.zeros(len(sorted_rows) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=block_ptr[1:])
+
+    return VectorClique(
+        task=task,
+        bits_per_rb=bits_per_rb,
+        source_paths=paths,
+        variants=[pairs[i] for i in order],
+        compute_s=comp_k[order_arr] if order else comp_k,
+        memory_gb=mem_k[order_arr] if order else mem_k,
+        bits_per_image=bits_k[order_arr] if order else bits_k,
+        accuracy=acc_k[order_arr] if order else acc_k,
+        min_latency_rbs=r_lat[order_arr] if order else r_lat,
+        block_rows=block_rows,
+        block_ptr=block_ptr,
+        path_ids=[pids[i] for i in order],
+        filtered_static=filtered_static,
+    )
+
+
+@dataclass
+class VectorTree:
+    """Per-task vectorized cliques in priority order."""
+
+    problem: DOTProblem
+    cliques: list[VectorClique]
+    registry: BlockRegistry
+    build_time_s: float = 0.0
+    #: cliques served from a warm-start cache instead of being rebuilt
+    cached_cliques: int = 0
+
+    def materialize(self) -> SolutionTree:
+        """The equivalent legacy :class:`SolutionTree` (Vertex objects).
+
+        Applies the radio filter the scalar builder applies inline, so
+        clique contents and ``filtered_out`` counts match exactly.
+        """
+        radio_blocks = self.problem.budgets.radio_blocks
+        cliques: list[Clique] = []
+        filtered: dict[int, int] = {}
+        for vclique in self.cliques:
+            mask = vclique.min_latency_rbs <= radio_blocks
+            vertices = [
+                Vertex(
+                    task=vclique.task,
+                    path=vclique.variant_path(i),
+                    bits_per_rb=vclique.bits_per_rb,
+                )
+                for i in np.flatnonzero(mask)
+            ]
+            filtered[vclique.task.task_id] = vclique.filtered_static + int(
+                (~mask).sum()
+            )
+            cliques.append(Clique(task=vclique.task, vertices=vertices))
+        return SolutionTree(
+            problem=self.problem,
+            cliques=cliques,
+            filtered_out=filtered,
+            build_time_s=self.build_time_s,
+        )
+
+
+def build_vector_tree(
+    problem: DOTProblem, registry: BlockRegistry | None = None
+) -> VectorTree:
+    """Vectorized counterpart of :func:`build_tree`.
+
+    Clique contents depend only on the candidate-path tuple, the quality
+    set, the accuracy/latency requirements and the per-RB capacity — not
+    on a task's identity, priority or rate — so replicated populations
+    (many tasks sharing one catalog entry by identity) build each
+    distinct clique once and share its arrays read-only.
+    """
+    start = time.perf_counter()
+    registry = registry if registry is not None else BlockRegistry()
+    cliques: list[VectorClique] = []
+    memo: dict[tuple, VectorClique] = {}
+    for task in problem.tasks_by_priority():
+        paths = problem.catalog.paths_for(task)
+        bits_per_rb = problem.radio.bits_per_rb(task)
+        key = (
+            id(paths),
+            bits_per_rb,
+            task.min_accuracy,
+            task.max_latency_s,
+            task.qualities,
+        )
+        cached = memo.get(key)
+        if cached is not None and cached.source_paths is paths:
+            cliques.append(replace(cached, task=task))
+            continue
+        clique = build_task_clique(task, paths, bits_per_rb, registry)
+        memo[key] = clique
+        cliques.append(clique)
+    return VectorTree(
+        problem=problem,
+        cliques=cliques,
+        registry=registry,
+        build_time_s=time.perf_counter() - start,
+    )

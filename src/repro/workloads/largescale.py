@@ -13,13 +13,22 @@ B = 0.35 Mbps, α = 0.5.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
+from repro.core.catalog import Catalog
 from repro.core.problem import Budgets, DOTProblem, RadioModel
 from repro.core.task import QualityLevel, Task
 from repro.workloads.generator import CostBasis, DNNFamily, ScenarioCatalogBuilder
 
-__all__ = ["RequestRate", "LargeScaleParams", "LARGE_SCALE", "large_scale_tasks", "large_scale_problem"]
+__all__ = [
+    "RequestRate",
+    "LargeScaleParams",
+    "LARGE_SCALE",
+    "large_scale_tasks",
+    "large_scale_problem",
+    "replicated_large_scale_tasks",
+    "replicated_large_scale_problem",
+]
 
 
 class RequestRate(enum.Enum):
@@ -81,6 +90,62 @@ def large_scale_tasks(
             qualities=(quality,),
         )
         for i in range(1, params.num_tasks + 1)
+    )
+
+
+def replicated_large_scale_tasks(
+    rate: RequestRate,
+    replicas: int,
+    params: LargeScaleParams = LARGE_SCALE,
+) -> tuple[Task, ...]:
+    """The 20 large-scale tasks, each replicated ``replicas`` times.
+
+    Replica ``k`` of base task ``i`` gets ``task_id = i + 20 k`` and is
+    otherwise identical — the modeled-user population of the scaled
+    control-plane studies, where a "task" is one device's request and
+    thousands of devices share each of the 20 service classes.
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    base = large_scale_tasks(rate, params)
+    tasks = list(base)
+    for k in range(1, replicas):
+        offset = params.num_tasks * k
+        tasks.extend(
+            replace(t, task_id=t.task_id + offset, name=f"{t.name}-r{k}")
+            for t in base
+        )
+    return tuple(tasks)
+
+
+def replicated_large_scale_problem(
+    rate: RequestRate,
+    replicas: int,
+    params: LargeScaleParams = LARGE_SCALE,
+    basis: CostBasis | None = None,
+    seed: int = 0,
+) -> DOTProblem:
+    """A ``20 x replicas``-task instance sharing the base catalog.
+
+    Every replica of base task ``i`` references the *same* candidate
+    path tuple (by identity, not copies), so the catalog stays
+    O(base paths) in memory at any population size and the aggregation
+    layer (:mod:`repro.core.aggregate`) can pool the replicas into 20
+    meta-tasks.
+    """
+    small = large_scale_problem(rate, params=params, basis=basis, seed=seed)
+    tasks = replicated_large_scale_tasks(rate, replicas, params)
+    catalog = Catalog()
+    catalog.paths_by_task = dict(small.catalog.paths_by_task)
+    for task in tasks[params.num_tasks :]:
+        base_id = (task.task_id - 1) % params.num_tasks + 1
+        catalog.paths_by_task[task.task_id] = small.catalog.paths_by_task[base_id]
+    return DOTProblem(
+        tasks=tasks,
+        catalog=catalog,
+        budgets=small.budgets,
+        radio=small.radio,
+        alpha=small.alpha,
     )
 
 

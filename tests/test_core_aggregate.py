@@ -1,0 +1,138 @@
+"""Round-trip invariants of the task-aggregation layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregate import AggregateSolver, aggregate_problem
+from repro.core.heuristic import OffloaDNNSolver
+from repro.core.objective import check_constraints
+from repro.core.problem import Budgets, DOTProblem
+from repro.workloads.largescale import (
+    RequestRate,
+    replicated_large_scale_problem,
+)
+
+
+@pytest.fixture(scope="module")
+def replicated():
+    # 200 tasks = 20 classes x 10 replicas
+    return replicated_large_scale_problem(RequestRate.MEDIUM, replicas=10)
+
+
+class TestAggregateProblem:
+    def test_groups_replicas_into_base_classes(self, replicated):
+        plan = aggregate_problem(replicated)
+        assert plan.num_groups == 20
+        assert plan.compression == pytest.approx(10.0)
+        for group in plan.groups.values():
+            assert group.weight == 10
+            # representative is the smallest member id, members sorted
+            assert group.member_ids[0] == group.representative.task_id
+            assert list(group.member_ids) == sorted(group.member_ids)
+
+    def test_group_members_share_signature(self, replicated):
+        plan = aggregate_problem(replicated)
+        tasks_by_id = {t.task_id: t for t in replicated.tasks}
+        for group in plan.groups.values():
+            rep = group.representative
+            rep_paths = replicated.catalog.paths_for(rep)
+            for member_id in group.member_ids:
+                member = tasks_by_id[member_id]
+                assert member.priority == rep.priority
+                assert member.request_rate == rep.request_rate
+                assert member.min_accuracy == rep.min_accuracy
+                assert member.max_latency_s == rep.max_latency_s
+                assert replicated.catalog.paths_for(member) is rep_paths
+
+    def test_distinct_tasks_stay_separate(self, tiny_problem):
+        # three distinct priorities and path sets -> no pooling
+        plan = aggregate_problem(tiny_problem)
+        assert plan.num_groups == len(tiny_problem.tasks)
+        assert plan.compression == pytest.approx(1.0)
+
+    def test_meta_problem_preserves_budgets_and_radio(self, replicated):
+        plan = aggregate_problem(replicated)
+        assert plan.meta_problem.budgets == replicated.budgets
+        assert plan.meta_problem.radio is replicated.radio
+        assert plan.meta_problem.alpha == replicated.alpha
+
+
+class TestAggregateSolver:
+    def test_expansion_covers_every_task(self, replicated):
+        solution = AggregateSolver().solve(replicated)
+        assert set(solution.assignments) == {
+            t.task_id for t in replicated.tasks
+        }
+
+    def test_expanded_solution_is_feasible(self, replicated):
+        solution = AggregateSolver().solve(replicated)
+        report = check_constraints(replicated, solution)
+        assert report.feasible, report
+
+    def test_admission_equivalent_to_direct_solve(self, replicated):
+        """Aggregation changes the cascade's granularity, not its
+        substance: weighted admission and pool usage match the direct
+        per-task vector solve to first order."""
+        agg = AggregateSolver().solve(replicated)
+        direct = OffloaDNNSolver(engine="vector").solve(replicated)
+        assert agg.weighted_admission_ratio == pytest.approx(
+            direct.weighted_admission_ratio, rel=0.02, abs=0.05
+        )
+        assert agg.total_radio_blocks == pytest.approx(
+            direct.total_radio_blocks, rel=0.02, abs=0.5
+        )
+        assert agg.total_memory_gb == pytest.approx(direct.total_memory_gb)
+
+    def test_unreplicated_instance_matches_vector_solver_exactly(self):
+        """With one member per group the replay *is* the scalar cascade."""
+        problem = replicated_large_scale_problem(RequestRate.MEDIUM, replicas=1)
+        agg = AggregateSolver().solve(problem)
+        direct = OffloaDNNSolver(engine="vector").solve(problem)
+
+        def key(sol):
+            return [
+                (tid, a.path.path_id if a.path else None, a.admission_ratio,
+                 a.radio_blocks)
+                for tid, a in sorted(sol.assignments.items())
+            ]
+
+        assert key(agg) == key(direct)
+
+    def test_members_of_a_group_share_the_path_object(self, replicated):
+        solution = AggregateSolver().solve(replicated)
+        plan = aggregate_problem(replicated)
+        for group in plan.groups.values():
+            paths = {
+                id(solution.assignments[mid].path)
+                for mid in group.member_ids
+                if solution.assignments[mid].path is not None
+            }
+            assert len(paths) <= 1
+
+    def test_zero_headroom_rejects_everything(self, replicated):
+        empty = DOTProblem(
+            tasks=replicated.tasks,
+            catalog=replicated.catalog,
+            budgets=Budgets(
+                compute_time_s=0.0, training_budget_s=1000.0,
+                memory_gb=0.0, radio_blocks=0,
+            ),
+            radio=replicated.radio,
+            alpha=replicated.alpha,
+        )
+        solution = AggregateSolver().solve(empty)
+        assert solution.admitted_task_count == 0
+        assert check_constraints(empty, solution).feasible
+
+    def test_rejects_incompatible_base(self):
+        with pytest.raises(ValueError, match="explore_branches"):
+            AggregateSolver(base=OffloaDNNSolver(explore_branches=2))
+        with pytest.raises(ValueError, match="slice_margin_rbs"):
+            AggregateSolver(base=OffloaDNNSolver(slice_margin_rbs=1))
+
+    def test_timing_fields_stamped(self, replicated):
+        solution = AggregateSolver().solve(replicated)
+        assert solution.tree_build_time_s > 0.0
+        assert solution.solve_time_s > 0.0
+        assert solution.solver_name == "OffloaDNN-aggregated"

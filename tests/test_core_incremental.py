@@ -96,10 +96,55 @@ class TestDiscountProblem:
         # the shared block contributes no new memory
         assert solution2.total_memory_gb == pytest.approx(2 * 0.5)
 
-    def test_exhausted_capacity_raises(self):
+    def test_exhausted_capacity_yields_zero_headroom_instance(self):
+        """A saturated platform is a *valid* instance, not an error:
+        solvers reject everything instead of the caller crashing."""
         _, wave2 = _two_wave_problems()
-        with pytest.raises(ValueError, match="no remaining capacity"):
-            discount_problem(wave2, frozenset(), used_memory_gb=8.0)
+        incremental = discount_problem(wave2, frozenset(), used_memory_gb=8.0)
+        assert incremental.budgets.memory_gb == 0.0
+        solution = OffloaDNNSolver().solve(incremental)
+        assert solution.admitted_task_count == 0
+
+    def test_all_pools_exhausted_rejects_all(self):
+        _, wave2 = _two_wave_problems()
+        incremental = discount_problem(
+            wave2,
+            frozenset(),
+            used_memory_gb=100.0,
+            used_compute_s=100.0,
+            used_radio_blocks=100.0,
+        )
+        assert incremental.budgets.memory_gb == 0.0
+        assert incremental.budgets.compute_time_s == 0.0
+        assert incremental.budgets.radio_blocks == 0
+        for engine in ("scalar", "vector"):
+            solution = OffloaDNNSolver(engine=engine).solve(incremental)
+            assert solution.admitted_task_count == 0
+            assert check_constraints(incremental, solution).feasible
+
+    def test_radio_discount_floors_instead_of_truncating(self):
+        """Σ z·r fractionally below an integer must not eat a whole RB."""
+        _, wave2 = _two_wave_problems()
+        incremental = discount_problem(
+            wave2, frozenset(), used_radio_blocks=12.999999999
+        )
+        assert incremental.budgets.radio_blocks == 37
+
+    def test_discount_cache_shares_one_object_per_block_value(self):
+        """Value-keyed caching: every occurrence of a block across paths
+        maps to one discounted object, with the discount decided by the
+        block's own value (not whichever same-id block was seen first)."""
+        wave1, wave2 = _two_wave_problems()
+        solution1 = OffloaDNNSolver().solve(wave1)
+        incremental = discount_problem(wave2, deployed_block_ids(solution1))
+        seen: dict[str, object] = {}
+        for paths in incremental.catalog.paths_by_task.values():
+            for path in paths:
+                for block in path.blocks:
+                    assert seen.setdefault(block.block_id, block) is block
+        assert seen["shared"].memory_gb == 0.0
+        assert seen["own3"].memory_gb == 0.5
+        assert seen["own4"].memory_gb == 0.5
 
     def test_no_deployed_blocks_is_identity_costs(self):
         _, wave2 = _two_wave_problems()
@@ -108,3 +153,116 @@ class TestDiscountProblem:
         discounted = incremental.catalog.all_blocks()
         for block_id, block in original.items():
             assert discounted[block_id].memory_gb == block.memory_gb
+
+
+def _solution_key(solution):
+    return [
+        (
+            tid,
+            a.path.path_id if a.path else None,
+            a.admission_ratio,
+            a.radio_blocks,
+        )
+        for tid, a in sorted(solution.assignments.items())
+    ]
+
+
+class TestWarmStartSolver:
+    def test_matches_cold_solve_exactly(self):
+        from repro.core.incremental import WarmStartSolver
+
+        wave1, _ = _two_wave_problems()
+        warm = WarmStartSolver()
+        cold = OffloaDNNSolver().solve(wave1)
+        first = warm.solve(wave1)
+        second = warm.solve(wave1)
+        assert _solution_key(first) == _solution_key(cold)
+        assert _solution_key(second) == _solution_key(cold)
+        assert warm.last_reused == len(wave1.tasks)
+        assert warm.last_built == 0
+
+    def test_churn_reuses_surviving_cliques(self):
+        from repro.core.incremental import WarmStartSolver
+
+        shared = make_block("trunk", compute_time_s=0.004, memory_gb=2.0,
+                            training_cost_s=100.0)
+        quality = make_task(0).qualities[0]
+
+        def build(task_ids):
+            catalog = Catalog()
+            tasks = []
+            paths_by_id = {}
+            for tid in task_ids:
+                task = make_task(tid, priority=0.9 - 0.01 * tid,
+                                 min_accuracy=0.7, quality=quality)
+                tasks.append(task)
+                own = make_block(f"own{tid}", compute_time_s=0.003,
+                                 memory_gb=0.5, training_cost_s=20.0)
+                catalog.add_path(
+                    make_path(task, f"p{tid}", (shared, own), accuracy=0.9)
+                )
+                paths_by_id[tid] = catalog.paths_for(tid)
+            budgets = Budgets(compute_time_s=2.5, training_budget_s=1000.0,
+                              memory_gb=8.0, radio_blocks=50)
+            return DOTProblem(
+                tasks=tuple(tasks), catalog=catalog, budgets=budgets,
+                radio=RadioModel(default_bits_per_rb=350_000.0),
+            ), paths_by_id
+
+        warm = WarmStartSolver()
+        problem1, paths1 = build([1, 2, 3])
+        warm.solve(problem1)
+        assert warm.last_built == 3
+
+        # task 3 departs, task 4 arrives; survivors keep their path tuples
+        problem2, _ = build([1, 2, 4])
+        problem2.catalog.paths_by_task[1] = paths1[1]
+        problem2.catalog.paths_by_task[2] = paths1[2]
+        warm.forget(3)
+        solution = warm.solve(problem2)
+        assert warm.last_reused == 2
+        assert warm.last_built == 1
+        assert _solution_key(solution) == _solution_key(
+            OffloaDNNSolver().solve(problem2)
+        )
+
+    def test_changed_task_definition_rebuilds(self):
+        from dataclasses import replace as dc_replace
+
+        from repro.core.incremental import WarmStartSolver
+
+        wave1, _ = _two_wave_problems()
+        warm = WarmStartSolver()
+        warm.solve(wave1)
+        tighter = tuple(
+            dc_replace(t, max_latency_s=t.max_latency_s / 2) for t in wave1.tasks
+        )
+        changed = DOTProblem(
+            tasks=tighter,
+            catalog=wave1.catalog,
+            budgets=wave1.budgets,
+            radio=wave1.radio,
+            alpha=wave1.alpha,
+        )
+        solution = warm.solve(changed)
+        assert warm.last_built == len(wave1.tasks)
+        assert _solution_key(solution) == _solution_key(
+            OffloaDNNSolver().solve(changed)
+        )
+
+    def test_rejects_multi_branch_base(self):
+        from repro.core.incremental import WarmStartSolver
+
+        with pytest.raises(ValueError, match="first-branch"):
+            WarmStartSolver(base=OffloaDNNSolver(explore_branches=3))
+
+    def test_prune_and_clear(self):
+        from repro.core.incremental import WarmStartSolver
+
+        wave1, _ = _two_wave_problems()
+        warm = WarmStartSolver()
+        warm.solve(wave1)
+        warm.prune({1})
+        assert warm.cached_tasks == 1
+        warm.clear()
+        assert warm.cached_tasks == 0

@@ -14,13 +14,22 @@ class TestBudgets:
     def test_valid(self):
         Budgets(compute_time_s=1.0, training_budget_s=1.0, memory_gb=1.0, radio_blocks=1)
 
+    def test_zero_headroom_is_valid(self):
+        """Zero compute/memory/radio models an exhausted platform (the
+        online churn case); only the training normalizer must stay > 0."""
+        Budgets(
+            compute_time_s=0.0, training_budget_s=1.0, memory_gb=0.0,
+            radio_blocks=0,
+        )
+
     @pytest.mark.parametrize(
         "kwargs",
         [
-            {"compute_time_s": 0.0},
+            {"compute_time_s": -1.0},
             {"training_budget_s": 0.0},
-            {"memory_gb": 0.0},
-            {"radio_blocks": 0},
+            {"training_budget_s": -1.0},
+            {"memory_gb": -1.0},
+            {"radio_blocks": -1},
         ],
     )
     def test_invalid(self, kwargs):

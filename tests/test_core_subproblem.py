@@ -215,3 +215,99 @@ def test_solve_branch_always_feasible_property(radio, compute, rates):
             )
         else:
             assert r == 0
+
+
+@given(
+    radio=st.integers(min_value=0, max_value=200),
+    pool_radio=st.floats(min_value=0.0, max_value=200.0),
+    pool_compute=st.floats(min_value=0.0, max_value=5.0),
+    rate=st.floats(min_value=0.1, max_value=50.0),
+    latency=st.floats(min_value=0.05, max_value=2.0),
+    compute_time=st.floats(min_value=0.0, max_value=0.1),
+    bits=st.floats(min_value=0.0, max_value=2_000_000.0),
+    bpr=st.floats(min_value=10_000.0, max_value=2_000_000.0),
+)
+@settings(max_examples=300, deadline=None)
+def test_closed_form_admission_matches_reference(
+    radio, pool_radio, pool_compute, rate, latency, compute_time, bits, bpr
+):
+    """The O(1) candidate scan returns the exact (z, r) of the O(R)
+    enumeration, for any item geometry and any pool state."""
+    from repro.core.subproblem import (
+        _best_admission_for_item,
+        _best_admission_for_item_reference,
+    )
+
+    item = _item(
+        request_rate=rate,
+        max_latency_s=latency,
+        compute_time_s=compute_time,
+        bits_per_image=bits,
+        bits_per_rb=bpr,
+    )
+    fast = _best_admission_for_item(item, pool_radio, pool_compute, radio)
+    slow = _best_admission_for_item_reference(item, pool_radio, pool_compute, radio)
+    assert fast == slow
+
+
+def test_closed_form_matches_reference_on_cascade():
+    """Sequential pool states of a real cascade hit the same (z, r)."""
+    from repro.core.subproblem import (
+        _best_admission_for_item,
+        _best_admission_for_item_reference,
+    )
+
+    items = [
+        _item(task_id=i, priority=1.0 - 0.05 * i, request_rate=2.5 + 0.5 * i,
+              max_latency_s=0.2 + 0.02 * i)
+        for i in range(1, 21)
+    ]
+    budgets = _budgets(radio=100, compute=10.0)
+    remaining_radio = float(budgets.radio_blocks)
+    remaining_compute = float(budgets.compute_time_s)
+    for item in items:
+        fast = _best_admission_for_item(
+            item, remaining_radio, remaining_compute, budgets.radio_blocks
+        )
+        slow = _best_admission_for_item_reference(
+            item, remaining_radio, remaining_compute, budgets.radio_blocks
+        )
+        assert fast == slow
+        z, r = fast
+        remaining_radio -= z * r
+        remaining_compute -= z * item.task.request_rate * item.compute_time_s
+
+
+class TestZeroBitsPath:
+    """bits_per_image == 0 models cached inputs; it must be admitted at
+    the 1-RB control minimum, not crash the solvers."""
+
+    def test_solve_branch_zero_bits(self):
+        item = _item(bits_per_image=0.0)
+        alloc = solve_branch([item], _budgets())
+        assert alloc.admission == [1.0]
+        assert alloc.radio_blocks == [1]
+
+    def test_solve_branch_convex_zero_bits_no_zerodivision(self):
+        items = [_item(task_id=1, bits_per_image=0.0),
+                 _item(task_id=2, priority=0.6)]
+        alloc = solve_branch_convex(items, _budgets(), alpha=0.5)
+        for z, r in zip(alloc.admission, alloc.radio_blocks):
+            assert 0.0 <= z <= 1.0
+            assert r >= 0
+
+    def test_solve_branch_convex_zero_compute_path(self):
+        """A path of zero-compute blocks must not divide by c = 0."""
+        items = [_item(task_id=1, compute_time_s=0.0)]
+        alloc = solve_branch_convex(items, _budgets(), alpha=0.5)
+        assert 0.0 <= alloc.admission[0] <= 1.0
+
+    def test_solve_branch_convex_zero_headroom_budgets(self):
+        items = [_item(task_id=1)]
+        budgets = Budgets(
+            compute_time_s=0.0, training_budget_s=1000.0,
+            memory_gb=8.0, radio_blocks=0,
+        )
+        alloc = solve_branch_convex(items, budgets, alpha=0.5)
+        assert alloc.admission == [0.0]
+        assert alloc.radio_blocks == [0]

@@ -14,9 +14,14 @@ class TestQualityLevel:
         q = QualityLevel("half", 100_000.0, accuracy_factor=0.9)
         assert q.bits_per_image == 100_000.0
 
+    def test_zero_bits_is_valid(self):
+        """β(q) = 0 models cached/pre-staged inputs at the edge."""
+        q = QualityLevel("cached", 0.0)
+        assert q.bits_per_image == 0.0
+
     def test_invalid_bits(self):
         with pytest.raises(ValueError):
-            QualityLevel("bad", 0.0)
+            QualityLevel("bad", -1.0)
 
     def test_invalid_accuracy_factor(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,251 @@
+"""Parity of the vectorized control plane with the scalar reference.
+
+The vector engine (``build_vector_tree`` + the numpy selection pass)
+must produce *bit-identical* solutions to the per-vertex scalar path —
+same chosen paths, same admission ratios, same RB counts — across
+orderings, branch exploration, slice margins and problem geometries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import Catalog
+from repro.core.heuristic import OffloaDNNSolver
+from repro.core.objective import check_constraints
+from repro.core.problem import Budgets, DOTProblem, RadioModel
+from repro.core.task import QualityLevel
+from repro.core.tree import build_tree, build_vector_tree
+from tests.conftest import make_block, make_path, make_task
+
+
+def solution_key(solution):
+    """Everything that must match between engines, bit for bit."""
+    return [
+        (
+            tid,
+            a.path.path_id if a.path else None,
+            a.path.quality.name if a.path else None,
+            a.admission_ratio,
+            a.radio_blocks,
+        )
+        for tid, a in sorted(solution.assignments.items())
+    ]
+
+
+def random_problem(seed: int, num_tasks: int = 8) -> DOTProblem:
+    """A randomized multi-quality, block-sharing instance."""
+    rng = np.random.default_rng(seed)
+    shared_pool = [
+        make_block(
+            f"shared{j}",
+            compute_time_s=float(rng.uniform(0.001, 0.02)),
+            memory_gb=float(rng.uniform(0.1, 1.5)),
+            training_cost_s=float(rng.uniform(0.0, 200.0)),
+        )
+        for j in range(4)
+    ]
+    qualities = (
+        QualityLevel("full", 350_000.0),
+        QualityLevel("half", 175_000.0, accuracy_factor=0.92),
+        QualityLevel("low", 50_000.0, accuracy_factor=0.85),
+    )
+    catalog = Catalog()
+    tasks = []
+    overrides: dict[int, float] = {}
+    for i in range(1, num_tasks + 1):
+        task = make_task(
+            i,
+            priority=float(rng.uniform(0.05, 1.0)),
+            request_rate=float(rng.uniform(0.5, 10.0)),
+            min_accuracy=float(rng.uniform(0.5, 0.9)),
+            max_latency_s=float(rng.uniform(0.05, 0.6)),
+        )
+        task = type(task)(
+            task_id=task.task_id,
+            name=task.name,
+            method=task.method,
+            priority=task.priority,
+            request_rate=task.request_rate,
+            min_accuracy=task.min_accuracy,
+            max_latency_s=task.max_latency_s,
+            qualities=qualities,
+        )
+        tasks.append(task)
+        for p in range(int(rng.integers(1, 4))):
+            own = make_block(
+                f"own{i}-{p}",
+                compute_time_s=float(rng.uniform(0.001, 0.03)),
+                memory_gb=float(rng.uniform(0.05, 1.0)),
+                training_cost_s=float(rng.uniform(0.0, 100.0)),
+            )
+            trunk = shared_pool[int(rng.integers(len(shared_pool)))]
+            catalog.add_path(
+                make_path(
+                    task,
+                    f"t{i}-p{p}",
+                    (trunk, own),
+                    accuracy=float(rng.uniform(0.6, 1.0)),
+                )
+            )
+        if rng.random() < 0.3:
+            overrides[i] = float(rng.choice([175_000.0, 700_000.0]))
+    return DOTProblem(
+        tasks=tuple(tasks),
+        catalog=catalog,
+        budgets=Budgets(
+            compute_time_s=float(rng.uniform(0.2, 3.0)),
+            training_budget_s=1000.0,
+            memory_gb=float(rng.uniform(1.0, 8.0)),
+            radio_blocks=int(rng.integers(5, 80)),
+        ),
+        radio=RadioModel(
+            default_bits_per_rb=350_000.0, per_task_bits_per_rb=overrides
+        ),
+        alpha=0.5,
+    )
+
+
+class TestVectorTreeMaterialize:
+    """materialize() must reproduce build_tree() exactly."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_clique_contents_match(self, seed):
+        problem = random_problem(seed)
+        scalar = build_tree(problem)
+        vector = build_vector_tree(problem).materialize()
+        assert len(scalar.cliques) == len(vector.cliques)
+        for sc, vc in zip(scalar.cliques, vector.cliques):
+            assert sc.task == vc.task
+            s_rows = [
+                (v.path.path_id, v.path.quality.name, v.compute_time_s,
+                 v.path.bits_per_image, v.accuracy)
+                for v in sc.vertices
+            ]
+            v_rows = [
+                (v.path.path_id, v.path.quality.name, v.compute_time_s,
+                 v.path.bits_per_image, v.accuracy)
+                for v in vc.vertices
+            ]
+            assert s_rows == v_rows
+        assert scalar.filtered_out == vector.filtered_out
+
+    def test_build_time_stamped(self, tiny_problem):
+        scalar = build_tree(tiny_problem)
+        vtree = build_vector_tree(tiny_problem)
+        assert scalar.build_time_s > 0.0
+        assert vtree.build_time_s > 0.0
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("ordering", ["compute", "memory", "accuracy"])
+    def test_randomized_parity(self, seed, ordering):
+        problem = random_problem(seed)
+        scalar = OffloaDNNSolver(engine="scalar", ordering=ordering).solve(problem)
+        vector = OffloaDNNSolver(engine="vector", ordering=ordering).solve(problem)
+        assert solution_key(scalar) == solution_key(vector)
+        assert check_constraints(problem, vector).feasible
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("explore", [1, 3])
+    @pytest.mark.parametrize("margin", [0, 2])
+    def test_options_parity(self, seed, explore, margin):
+        problem = random_problem(seed)
+        scalar = OffloaDNNSolver(
+            engine="scalar", explore_branches=explore, slice_margin_rbs=margin
+        ).solve(problem)
+        vector = OffloaDNNSolver(
+            engine="vector", explore_branches=explore, slice_margin_rbs=margin
+        ).solve(problem)
+        assert solution_key(scalar) == solution_key(vector)
+
+    def test_prebuilt_tree_bypasses_engine(self, tiny_problem):
+        tree = build_tree(tiny_problem)
+        from_tree = OffloaDNNSolver(engine="vector").solve(tiny_problem, tree=tree)
+        cold = OffloaDNNSolver(engine="scalar").solve(tiny_problem)
+        assert solution_key(from_tree) == solution_key(cold)
+
+    def test_paper_scale_parity(self):
+        from repro.workloads.largescale import RequestRate, large_scale_problem
+
+        for rate in RequestRate:
+            problem = large_scale_problem(rate)
+            scalar = OffloaDNNSolver(engine="scalar").solve(problem)
+            vector = OffloaDNNSolver(engine="vector").solve(problem)
+            assert solution_key(scalar) == solution_key(vector)
+
+    def test_zero_headroom_parity(self):
+        problem = random_problem(3)
+        empty = DOTProblem(
+            tasks=problem.tasks,
+            catalog=problem.catalog,
+            budgets=Budgets(
+                compute_time_s=0.0, training_budget_s=1000.0,
+                memory_gb=0.0, radio_blocks=0,
+            ),
+            radio=problem.radio,
+            alpha=problem.alpha,
+        )
+        scalar = OffloaDNNSolver(engine="scalar").solve(empty)
+        vector = OffloaDNNSolver(engine="vector").solve(empty)
+        assert solution_key(scalar) == solution_key(vector)
+        assert vector.admitted_task_count == 0
+
+
+class TestTimingAccounting:
+    def test_solve_time_excludes_build_uniformly(self, tiny_problem):
+        """Prebuilt or not, solve_time_s covers selection + allocation
+        only; the build cost is reported separately."""
+        tree = build_tree(tiny_problem)
+        solver = OffloaDNNSolver(engine="scalar")
+        prebuilt = solver.solve(tiny_problem, tree=tree)
+        internal = solver.solve(tiny_problem)
+        assert prebuilt.tree_build_time_s == pytest.approx(tree.build_time_s)
+        assert internal.tree_build_time_s > 0.0
+        for sol in (prebuilt, internal):
+            assert sol.solve_time_s > 0.0
+            assert sol.total_time_s == pytest.approx(
+                sol.tree_build_time_s + sol.solve_time_s
+            )
+
+    def test_vector_engine_stamps_build_time(self, tiny_problem):
+        solution = OffloaDNNSolver(engine="vector").solve(tiny_problem)
+        assert solution.tree_build_time_s > 0.0
+        assert solution.solve_time_s > 0.0
+
+    def test_optimal_solver_stamps_build_time(self, tiny_problem):
+        from repro.core.optimal import OptimalSolver
+
+        solution = OptimalSolver().solve(tiny_problem)
+        assert solution.tree_build_time_s > 0.0
+
+    def test_baselines_split_build_time(self, tiny_problem):
+        from repro.baselines.greedy import GreedyNoSharingSolver
+        from repro.baselines.random_policy import RandomPathSolver
+
+        for solver in (GreedyNoSharingSolver(), RandomPathSolver()):
+            solution = solver.solve(tiny_problem)
+            assert solution.tree_build_time_s > 0.0
+            assert solution.solve_time_s > 0.0
+
+    def test_serialize_roundtrips_build_time(self, tiny_problem, tmp_path):
+        from repro.core.serialize import (
+            dump_solution,
+            load_solution,
+            solution_from_dict,
+            solution_to_dict,
+        )
+
+        solution = OffloaDNNSolver().solve(tiny_problem)
+        out = tmp_path / "solution.json"
+        dump_solution(solution, out)
+        loaded = load_solution(out, tiny_problem)
+        assert loaded.tree_build_time_s == pytest.approx(
+            solution.tree_build_time_s
+        )
+        # pre-scaling dumps lack the field and default to 0
+        legacy = solution_to_dict(solution)
+        legacy.pop("tree_build_time_s")
+        assert solution_from_dict(legacy, tiny_problem).tree_build_time_s == 0.0
