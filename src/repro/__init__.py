@@ -15,6 +15,8 @@ Public API tour:
 * the Colosseum-substitute emulator: :mod:`repro.emulator`
 * the serving runtime executing admitted streams: :mod:`repro.serving`
   (``ServingRuntime``, ``TokenBucket``, ``ServingMetrics``)
+* tracing/metrics/trace export: :mod:`repro.obs`
+  (``ObsSession``, ``use_tracer``, ``MetricsRegistry``)
 * figure/table reproduction: :mod:`repro.analysis`
 
 Quickstart::
@@ -43,6 +45,7 @@ from repro.core import (
     objective_value,
 )
 from repro.baselines import SemORANSolver
+from repro.obs import ObsSession, use_tracer
 from repro.serving import ServingConfig, ServingMetrics, ServingRuntime, TokenBucket
 from repro.workloads import (
     RequestRate,
@@ -60,6 +63,7 @@ __all__ = [
     "Catalog",
     "DOTProblem",
     "DOTSolution",
+    "ObsSession",
     "OffloaDNNSolver",
     "OptimalSolver",
     "Path",
@@ -76,5 +80,6 @@ __all__ = [
     "large_scale_problem",
     "serving_small_scale_problem",
     "small_scale_problem",
+    "use_tracer",
     "__version__",
 ]

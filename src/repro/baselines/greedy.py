@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
+from typing import Callable
 
 from repro.core.problem import DOTProblem
 from repro.core.solution import Assignment, DOTSolution
@@ -26,10 +27,12 @@ class GreedyNoSharingSolver:
 
     name: str = "greedy-no-sharing"
     admission_floor: float = 1e-6
+    #: timestamp source for ``solve_time_s`` (injectable for testing)
+    clock: Callable[[], float] = time.perf_counter
 
     def solve(self, problem: DOTProblem) -> DOTSolution:
         tree = build_tree(problem)
-        start = time.perf_counter()
+        start = self.clock()
         solution = DOTSolution()
         remaining_memory = problem.budgets.memory_gb
         placed = []
@@ -66,7 +69,7 @@ class GreedyNoSharingSolver:
             solution.assignments[vertex.task.task_id] = Assignment(
                 task=vertex.task, path=path, admission_ratio=z, radio_blocks=r
             )
-        solution.solve_time_s = time.perf_counter() - start
+        solution.solve_time_s = self.clock() - start
         solution.tree_build_time_s = tree.build_time_s
         solution.solver_name = self.name
         return solution

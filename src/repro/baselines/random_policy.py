@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -22,10 +23,12 @@ class RandomPathSolver:
     seed: int = 0
     name: str = "random"
     admission_floor: float = 1e-6
+    #: timestamp source for ``solve_time_s`` (injectable for testing)
+    clock: Callable[[], float] = time.perf_counter
 
     def solve(self, problem: DOTProblem) -> DOTSolution:
         tree = build_tree(problem)
-        start = time.perf_counter()
+        start = self.clock()
         rng = np.random.default_rng(self.seed)
         state = BranchState()
         placed = []
@@ -55,7 +58,7 @@ class RandomPathSolver:
             solution.assignments[vertex.task.task_id] = Assignment(
                 task=vertex.task, path=vertex.path, admission_ratio=z, radio_blocks=r
             )
-        solution.solve_time_s = time.perf_counter() - start
+        solution.solve_time_s = self.clock() - start
         solution.tree_build_time_s = tree.build_time_s
         solution.solver_name = self.name
         return solution

@@ -28,6 +28,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, replace
+from typing import Callable
 
 from repro.core.catalog import Block, Path
 from repro.core.problem import DOTProblem
@@ -59,9 +60,11 @@ class SemORANSolver:
     #: whether leftover RBs are spread across admitted slices (the
     #: "balanced allocation" behaviour); disable for ablations
     spread_leftover_rbs: bool = True
+    #: timestamp source for ``solve_time_s`` (injectable for testing)
+    clock: Callable[[], float] = time.perf_counter
 
     def solve(self, problem: DOTProblem) -> DOTSolution:
-        start = time.perf_counter()
+        start = self.clock()
         solution = DOTSolution()
         remaining_memory = problem.budgets.memory_gb
         remaining_compute = problem.budgets.compute_time_s
@@ -97,7 +100,7 @@ class SemORANSolver:
             solution.assignments[task.task_id] = Assignment(
                 task=task, path=path, admission_ratio=1.0, radio_blocks=rbs
             )
-        solution.solve_time_s = time.perf_counter() - start
+        solution.solve_time_s = self.clock() - start
         solution.solver_name = self.name
         return solution
 

@@ -25,6 +25,23 @@ from repro.analysis.report import format_series, format_table
 __all__ = ["main", "build_parser"]
 
 
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", nargs="?", const="", default=None, metavar="OUT.json",
+        help="record an execution trace; with a path, write Perfetto-"
+        "loadable Chrome trace-event JSON there (bare --trace just "
+        "prints the flamegraph summary)",
+    )
+
+
+def _finish_trace(obs, trace_arg: str) -> None:
+    """Write/print one recorded session (shared --trace epilogue)."""
+    if trace_arg:
+        obs.write_trace(trace_arg)
+        print(f"wrote {obs.span_count} spans to {trace_arg}")
+    print(obs.summary())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -62,11 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="solve per-task with the vector engine instead of aggregating",
     )
     scale.add_argument("--seed", type=int, default=0)
+    _add_trace_arg(scale)
 
     emulate = sub.add_parser("emulate", help="run the Fig. 11 emulation")
     emulate.add_argument("--tasks", type=int, default=5)
     emulate.add_argument("--duration", type=float, default=20.0, help="seconds")
     emulate.add_argument("--seed", type=int, default=0)
+    _add_trace_arg(emulate)
 
     profile = sub.add_parser("profile", help="profile a DNN substrate model")
     profile.add_argument(
@@ -108,6 +127,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--poisson", action="store_true", help="Poisson arrivals")
     serve.add_argument("--seed", type=int, default=0)
+    _add_trace_arg(serve)
+
+    trace_summary = sub.add_parser(
+        "trace-summary", help="validate and summarize a recorded trace file"
+    )
+    trace_summary.add_argument("input", help="Chrome trace JSON or span JSONL file")
+    trace_summary.add_argument(
+        "--top", type=int, default=40, help="max root spans shown per clock domain"
+    )
 
     sweep = sub.add_parser("sweep", help="sensitivity sweep on the large scenario")
     sweep.add_argument("--knob", choices=["radio", "memory", "rate"], default="radio")
@@ -190,18 +218,28 @@ def _cmd_solve_large(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve_scale(args: argparse.Namespace) -> int:
+    import contextlib
+
     from repro.core.aggregate import AggregateSolver
     from repro.core.heuristic import OffloaDNNSolver
     from repro.workloads.largescale import RequestRate, replicated_large_scale_problem
 
+    obs = None
+    scope = contextlib.nullcontext()
+    if args.trace is not None:
+        from repro.obs import ObsSession, use_tracer
+
+        obs = ObsSession()
+        scope = use_tracer(obs.wall)
     rate = RequestRate[args.rate.upper()]
     replicas = max(1, -(-args.users // 20))
     problem = replicated_large_scale_problem(rate, replicas, seed=args.seed)
-    if args.no_aggregate:
-        solution = OffloaDNNSolver(engine="vector").solve(problem)
-    else:
-        solver = AggregateSolver()
-        solution = solver.solve(problem)
+    with scope:
+        if args.no_aggregate:
+            solution = OffloaDNNSolver(engine="vector").solve(problem)
+        else:
+            solver = AggregateSolver()
+            solution = solver.solve(problem)
     print(
         f"[{solution.solver_name}] {len(problem.tasks)} tasks "
         f"({rate.label} rate)"
@@ -222,14 +260,21 @@ def _cmd_solve_scale(args: argparse.Namespace) -> int:
         f"solve {solution.solve_time_s:.4f} s  "
         f"total {solution.total_time_s:.4f} s"
     )
+    if obs is not None:
+        _finish_trace(obs, args.trace)
     return 0
 
 
 def _cmd_emulate(args: argparse.Namespace) -> int:
     from repro.emulator.scenario import run_small_scale_emulation
 
+    obs = None
+    if args.trace is not None:
+        from repro.obs import ObsSession
+
+        obs = ObsSession()
     problem, result = run_small_scale_emulation(
-        num_tasks=args.tasks, duration_s=args.duration, seed=args.seed
+        num_tasks=args.tasks, duration_s=args.duration, seed=args.seed, obs=obs
     )
     rows = []
     for task in problem.tasks:
@@ -241,6 +286,9 @@ def _cmd_emulate(args: argparse.Namespace) -> int:
     print(format_table(["task", "mean ms", "max ms", "limit ms"], rows, precision=1))
     verdict = result.all_within_limits(problem)
     print(f"all within latency targets: {verdict}")
+    if obs is not None:
+        result.statistics(problem, registry=obs.registry)
+        _finish_trace(obs, args.trace)
     return 0 if verdict else 1
 
 
@@ -339,6 +387,15 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     from repro.serving import ServingConfig, ServingRuntime
     from repro.workloads.smallscale import serving_small_scale_problem
 
+    import contextlib
+
+    obs = None
+    scope = contextlib.nullcontext()
+    if args.trace is not None:
+        from repro.obs import ObsSession, use_tracer
+
+        obs = ObsSession()
+        scope = use_tracer(obs.wall)
     problem = serving_small_scale_problem(args.tasks, seed=args.seed)
     config = ServingConfig(
         duration_s=args.duration,
@@ -351,9 +408,11 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         load_factor=args.load,
         seed=args.seed,
     )
-    runtime = ServingRuntime.from_problem(
-        problem, config, solver=OffloaDNNSolver(slice_margin_rbs=args.slice_margin)
-    )
+    with scope:
+        runtime = ServingRuntime.from_problem(
+            problem, config, solver=OffloaDNNSolver(slice_margin_rbs=args.slice_margin)
+        )
+    runtime.obs = obs
     metrics = runtime.run()
     print(
         f"serving {args.tasks} tasks for {args.duration:g} s "
@@ -380,6 +439,8 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             else ""
         )
     )
+    if obs is not None:
+        _finish_trace(obs, args.trace)
     return 0
 
 
@@ -454,6 +515,23 @@ def _cmd_solve_file(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    from repro.obs import flame_summary, load_records
+
+    try:
+        tracers = load_records(args.input)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    total = sum(len(t.records) for t in tracers)
+    domains = ", ".join(
+        f"{t.domain} ({len(t.records)})" for t in tracers
+    ) or "none"
+    print(f"{args.input}: {total} records; domains: {domains}")
+    print(flame_summary(tracers, top=args.top))
+    return 0
+
+
 _COMMANDS = {
     "solve-small": _cmd_solve_small,
     "solve-large": _cmd_solve_large,
@@ -462,6 +540,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "reproduce": _cmd_reproduce,
     "serve-sim": _cmd_serve_sim,
+    "trace-summary": _cmd_trace_summary,
     "sweep": _cmd_sweep,
     "export-problem": _cmd_export_problem,
     "solve-file": _cmd_solve_file,

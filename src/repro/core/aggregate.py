@@ -49,6 +49,7 @@ from repro.core.solution import Assignment, DOTSolution
 from repro.core.subproblem import BranchItem, _best_admission_for_item
 from repro.core.task import Task
 from repro.core.tree import build_vector_tree
+from repro.obs.trace import current_tracer
 
 __all__ = ["TaskGroup", "AggregationPlan", "aggregate_problem", "AggregateSolver"]
 
@@ -160,8 +161,15 @@ class AggregateSolver:
         build_time = time.perf_counter() - build_start
 
         start = time.perf_counter()
-        chosen = self.base._select_branch_vector(plan.meta_problem, vtree)
-        solution = self._allocate_groups(problem, plan, chosen)
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span("solver.select_branch", cat="solver", track="solver"):
+                chosen = self.base._select_branch_vector(plan.meta_problem, vtree)
+            with tracer.span("solver.allocate", cat="solver", track="solver"):
+                solution = self._allocate_groups(problem, plan, chosen)
+        else:
+            chosen = self.base._select_branch_vector(plan.meta_problem, vtree)
+            solution = self._allocate_groups(problem, plan, chosen)
         solution.solve_time_s = time.perf_counter() - start
         solution.tree_build_time_s = build_time
         solution.solver_name = self.name

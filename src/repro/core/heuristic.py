@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.problem import DOTProblem
 from repro.core.solution import Assignment, DOTSolution
 from repro.core.subproblem import BranchItem, solve_branch
+from repro.obs.trace import current_tracer
 from repro.core.tree import (
     BranchState,
     SolutionTree,
@@ -104,8 +105,15 @@ class OffloaDNNSolver:
             build_time = vtree.build_time_s + (time.perf_counter() - build_start)
             return self._finish(problem, tree, build_time)
         start = time.perf_counter()
-        chosen = self._select_branch_vector(problem, vtree)
-        solution = self._allocate(problem, chosen)
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span("solver.select_branch", cat="solver", track="solver"):
+                chosen = self._select_branch_vector(problem, vtree)
+            with tracer.span("solver.allocate", cat="solver", track="solver"):
+                solution = self._allocate(problem, chosen)
+        else:
+            chosen = self._select_branch_vector(problem, vtree)
+            solution = self._allocate(problem, chosen)
         solution.solve_time_s = time.perf_counter() - start
         solution.tree_build_time_s = vtree.build_time_s
         solution.solver_name = self.name
@@ -115,9 +123,16 @@ class OffloaDNNSolver:
         self, problem: DOTProblem, tree: SolutionTree, build_time: float
     ) -> DOTSolution:
         start = time.perf_counter()
+        tracer = current_tracer()
         if self.explore_branches == 1:
-            chosen = self._select_branch(problem, tree)
-            solution = self._allocate(problem, chosen)
+            if tracer.enabled:
+                with tracer.span("solver.select_branch", cat="solver", track="solver"):
+                    chosen = self._select_branch(problem, tree)
+                with tracer.span("solver.allocate", cat="solver", track="solver"):
+                    solution = self._allocate(problem, chosen)
+            else:
+                chosen = self._select_branch(problem, tree)
+                solution = self._allocate(problem, chosen)
         else:
             solution = self._solve_multi_branch(problem, tree)
         solution.solve_time_s = time.perf_counter() - start

@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.catalog import Path
 from repro.core.problem import Budgets, DOTProblem
 from repro.core.task import Task
+from repro.obs.trace import current_tracer
 
 __all__ = [
     "BranchItem",
@@ -246,6 +247,8 @@ def solve_branch(
     releases its radio and compute demand for lower-priority tasks and
     lets the caller drop its otherwise-unused blocks.
     """
+    tracer = current_tracer()
+    start = tracer.clock() if tracer.enabled else 0.0
     remaining_radio = float(budgets.radio_blocks)
     remaining_compute = float(budgets.compute_time_s)
     admission: list[float] = []
@@ -262,6 +265,15 @@ def solve_branch(
         rbs.append(r)
         remaining_radio -= z * r
         remaining_compute -= z * item.task.request_rate * item.compute_time_s
+    if tracer.enabled:
+        tracer.record(
+            "solver.water_fill",
+            start,
+            tracer.clock() - start,
+            cat="solver",
+            track="solver",
+            args={"items": len(items)},
+        )
     return BranchAllocation(admission=admission, radio_blocks=rbs)
 
 

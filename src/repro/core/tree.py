@@ -25,6 +25,7 @@ from repro.core.catalog import Block, Path
 from repro.core.problem import DOTProblem
 from repro.core.subproblem import minimum_latency_rbs
 from repro.core.task import QualityLevel, Task
+from repro.obs.trace import current_tracer
 
 __all__ = [
     "Vertex",
@@ -197,6 +198,7 @@ def _expand_qualities(path: Path, task: Task) -> list[Path]:
 def build_tree(problem: DOTProblem) -> SolutionTree:
     """Construct the feasibility-filtered, compute-time-sorted tree."""
     start = time.perf_counter()
+    tracer = current_tracer()
     cliques: list[Clique] = []
     filtered: dict[int, int] = {}
     for task in problem.tasks_by_priority():
@@ -209,11 +211,21 @@ def build_tree(problem: DOTProblem) -> SolutionTree:
         feasible = [v for v in vertices if _vertex_feasible(v, problem)]
         filtered[task.task_id] = len(vertices) - len(feasible)
         cliques.append(Clique(task=task, vertices=feasible))
+    elapsed = time.perf_counter() - start
+    if tracer.enabled:
+        tracer.record(
+            "solver.tree_build",
+            start,
+            elapsed,
+            cat="solver",
+            track="solver",
+            args={"tasks": len(cliques), "engine": "scalar"},
+        )
     return SolutionTree(
         problem=problem,
         cliques=cliques,
         filtered_out=filtered,
-        build_time_s=time.perf_counter() - start,
+        build_time_s=elapsed,
     )
 
 
@@ -457,9 +469,11 @@ def build_vector_tree(
     distinct clique once and share its arrays read-only.
     """
     start = time.perf_counter()
+    tracer = current_tracer()
     registry = registry if registry is not None else BlockRegistry()
     cliques: list[VectorClique] = []
     memo: dict[tuple, VectorClique] = {}
+    built = 0
     for task in problem.tasks_by_priority():
         paths = problem.catalog.paths_for(task)
         bits_per_rb = problem.radio.bits_per_rb(task)
@@ -474,12 +488,32 @@ def build_vector_tree(
         if cached is not None and cached.source_paths is paths:
             cliques.append(replace(cached, task=task))
             continue
-        clique = build_task_clique(task, paths, bits_per_rb, registry)
+        if tracer.enabled:
+            with tracer.span(
+                "solver.clique_filter",
+                cat="solver",
+                track="solver",
+                task=task.task_id,
+            ):
+                clique = build_task_clique(task, paths, bits_per_rb, registry)
+        else:
+            clique = build_task_clique(task, paths, bits_per_rb, registry)
+        built += 1
         memo[key] = clique
         cliques.append(clique)
+    elapsed = time.perf_counter() - start
+    if tracer.enabled:
+        tracer.record(
+            "solver.tree_build",
+            start,
+            elapsed,
+            cat="solver",
+            track="solver",
+            args={"tasks": len(cliques), "built": built, "engine": "vector"},
+        )
     return VectorTree(
         problem=problem,
         cliques=cliques,
         registry=registry,
-        build_time_s=time.perf_counter() - start,
+        build_time_s=elapsed,
     )

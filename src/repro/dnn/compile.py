@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.dnn import ops
 from repro.dnn.graph import Residual, Sequential
+from repro.obs.trace import current_tracer
 from repro.dnn.layers import (
     BatchNorm2d,
     Conv2d,
@@ -661,8 +662,19 @@ class CompiledModule(Layer):
         if scratch is None:
             scratch = _Scratch(key, n, self._cols_elems, self._tmp_elems)
             self._scratch[key] = scratch
-        for step in self.steps:
-            x = step.run(x, scratch)
+        # the tracer predicate is hoisted out of the step loop so the
+        # disabled path pays one thread-local read per forward, not one
+        # per plan step
+        tracer = current_tracer()
+        if tracer.enabled:
+            for step in self.steps:
+                with tracer.span(
+                    f"plan.{step.label}", cat="engine", track="engine"
+                ):
+                    x = step.run(x, scratch)
+        else:
+            for step in self.steps:
+                x = step.run(x, scratch)
         # plan buffers are rewritten by the next call — callers own a copy
         return x.copy()
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -78,22 +79,36 @@ class ModelProfile:
         raise KeyError(name)
 
 
-def time_forward(fn, x: np.ndarray, repeats: int = 5, warmup: int = 1) -> float:
-    """Median wall-clock seconds of ``fn(x)`` over ``repeats`` runs."""
+def time_forward(
+    fn,
+    x: np.ndarray,
+    repeats: int = 5,
+    warmup: int = 1,
+    clock: Callable[[], float] = time.perf_counter,
+) -> float:
+    """Median wall-clock seconds of ``fn(x)`` over ``repeats`` runs.
+
+    ``clock`` is the timestamp source; tests inject a fake clock to pin
+    the measured values exactly.
+    """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     for _ in range(warmup):
         fn(x)
     samples = []
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = clock()
         fn(x)
-        samples.append(time.perf_counter() - start)
+        samples.append(clock() - start)
     return float(np.median(samples))
 
 
 def profile_model(
-    model: ResNet18, repeats: int = 5, warmup: int = 1, compiled: bool = False
+    model: ResNet18,
+    repeats: int = 5,
+    warmup: int = 1,
+    compiled: bool = False,
+    clock: Callable[[], float] = time.perf_counter,
 ) -> ModelProfile:
     """Profile each layer-block of ``model`` on a dummy tensor.
 
@@ -117,7 +132,7 @@ def profile_model(
             from repro.dnn.compile import compile_module
 
             timed = compile_module(block, shape).forward
-        elapsed = time_forward(timed, x, repeats=repeats, warmup=warmup)
+        elapsed = time_forward(timed, x, repeats=repeats, warmup=warmup, clock=clock)
         params = block.param_count()
         profiles.append(
             BlockProfile(

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.emulator.nodes import FrameRecord
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["moving_average", "LatencyTimeline", "TaskStatistics"]
 
@@ -37,7 +38,32 @@ class TaskStatistics:
         records: list[FrameRecord],
         duration_s: float,
         deadline_s: float,
+        registry: MetricsRegistry | None = None,
     ) -> "TaskStatistics":
+        """Summarize ``records``, feeding a metrics registry on the way.
+
+        The summary is *derived from* registry instruments (histograms
+        of the latency decomposition, frame/miss counters), so the
+        numbers are bit-identical whether or not a shared ``registry``
+        is attached — attaching one just makes the instruments outlive
+        this call.
+        """
+        if registry is None:
+            registry = MetricsRegistry()
+        prefix = f"emu.task{task_id}"
+        latency = registry.histogram(f"{prefix}.latency_s")
+        uplink = registry.histogram(f"{prefix}.uplink_s")
+        compute = registry.histogram(f"{prefix}.compute_s")
+        frames = registry.counter(f"{prefix}.frames")
+        misses = registry.counter(f"{prefix}.deadline_misses")
+        for r in records:
+            e2e = r.end_to_end_latency
+            latency.observe(e2e)
+            uplink.observe(r.uplink_done_at - r.created_at)
+            compute.observe(r.compute_done_at - r.uplink_done_at)
+            frames.inc()
+            if e2e > deadline_s:
+                misses.inc()
         if not records:
             return cls(
                 task_id=task_id, frames=0,
@@ -46,19 +72,16 @@ class TaskStatistics:
                 mean_compute_s=float("nan"), goodput_fps=0.0,
                 deadline_miss_fraction=float("nan"),
             )
-        latency = np.array([r.end_to_end_latency for r in records])
-        uplink = np.array([r.uplink_done_at - r.created_at for r in records])
-        compute = np.array([r.compute_done_at - r.uplink_done_at for r in records])
         return cls(
             task_id=task_id,
-            frames=len(records),
-            mean_latency_s=float(latency.mean()),
-            p95_latency_s=float(np.percentile(latency, 95)),
-            max_latency_s=float(latency.max()),
-            mean_uplink_s=float(uplink.mean()),
-            mean_compute_s=float(compute.mean()),
-            goodput_fps=len(records) / duration_s if duration_s > 0 else 0.0,
-            deadline_miss_fraction=float((latency > deadline_s).mean()),
+            frames=latency.count,
+            mean_latency_s=latency.mean,
+            p95_latency_s=latency.percentile(95),
+            max_latency_s=latency.max,
+            mean_uplink_s=uplink.mean,
+            mean_compute_s=compute.mean,
+            goodput_fps=latency.count / duration_s if duration_s > 0 else 0.0,
+            deadline_miss_fraction=misses.value / frames.value,
         )
 
 

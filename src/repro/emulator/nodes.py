@@ -17,6 +17,7 @@ from repro.core.catalog import Path
 from repro.edge.controller import AdmissionTicket
 from repro.emulator.lte import LteCell
 from repro.emulator.simulator import Simulator
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 __all__ = ["FrameRecord", "EdgeServer", "UserEquipment"]
 
@@ -29,6 +30,8 @@ class FrameRecord:
     frame_id: int
     created_at: float
     uplink_done_at: float = float("nan")
+    #: when the GPU actually started serving (end of FIFO queue wait)
+    service_started_at: float = float("nan")
     compute_done_at: float = float("nan")
     completed_at: float = float("nan")
 
@@ -47,6 +50,8 @@ class EdgeServer:
     #: multiplicative jitter applied to each service time
     compute_jitter: float = 0.05
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    #: DES-clock tracer; one span set per completed frame when enabled
+    tracer: Tracer | NullTracer = NULL_TRACER
     _busy_until: float = 0.0
     #: accumulated GPU service time (for utilization accounting)
     busy_time_s: float = 0.0
@@ -63,13 +68,41 @@ class EdgeServer:
         finish = start + service
         self._busy_until = finish
         self.busy_time_s += service
+        record.service_started_at = start
         record.compute_done_at = finish
         record.completed_at = finish + self.result_return_s
 
         def complete() -> None:
             self.completed.append(record)
+            if self.tracer.enabled:
+                self._record_frame_spans(record)
 
         self.simulator.schedule_at(record.completed_at, complete)
+
+    def _record_frame_spans(self, record: FrameRecord) -> None:
+        """Emit the frame's stage spans (uplink slice → GPU queue →
+        GPU execute → result return) nested under one parent span."""
+        track = f"task{record.task_id}.frame{record.frame_id}"
+        stages = (
+            ("frame", record.created_at, record.completed_at),
+            ("uplink", record.created_at, record.uplink_done_at),
+            ("gpu_queue", record.uplink_done_at, record.service_started_at),
+            ("gpu_execute", record.service_started_at, record.compute_done_at),
+            ("return", record.compute_done_at, record.completed_at),
+        )
+        for name, begin, end in stages:
+            self.tracer.record(
+                name,
+                begin,
+                end - begin,
+                cat="emulator",
+                track=track,
+                args=(
+                    {"task": record.task_id, "frame": record.frame_id}
+                    if name == "frame"
+                    else None
+                ),
+            )
 
     @property
     def utilization_busy_until(self) -> float:

@@ -21,6 +21,8 @@ from repro.emulator.lte import LteCell
 from repro.emulator.metrics import LatencyTimeline
 from repro.emulator.nodes import EdgeServer, UserEquipment
 from repro.emulator.simulator import Simulator
+from repro.obs import ObsSession, use_tracer
+from repro.obs.metrics import MetricsRegistry
 from repro.radio.slicing import SliceManager
 from repro.workloads.smallscale import SMALL_SCALE, small_scale_problem
 
@@ -38,7 +40,9 @@ class EmulationResult:
     #: fraction of the run the edge GPU spent serving frames
     gpu_utilization: float = 0.0
 
-    def statistics(self, problem: DOTProblem) -> dict[int, "TaskStatistics"]:
+    def statistics(
+        self, problem: DOTProblem, registry: MetricsRegistry | None = None
+    ) -> dict[int, "TaskStatistics"]:
         """Per-task summaries (latency decomposition, goodput, misses)."""
         from repro.emulator.metrics import TaskStatistics
 
@@ -46,7 +50,11 @@ class EmulationResult:
         for task in problem.tasks:
             records = self.timeline.records_by_task.get(task.task_id, [])
             stats[task.task_id] = TaskStatistics.from_records(
-                task.task_id, records, self.duration_s, task.max_latency_s
+                task.task_id,
+                records,
+                self.duration_s,
+                task.max_latency_s,
+                registry=registry,
             )
         return stats
 
@@ -78,6 +86,9 @@ class EmulationScenario:
     #: optional slow-fading process on the uplink
     fading: object | None = None
     seed: int = 0
+    #: observability session; when set, frame-stage spans land on its
+    #: virtual tracer and queue/GPU gauges are sampled on the DES clock
+    obs: ObsSession | None = None
 
     def run(self, solver: object | None = None) -> EmulationResult:
         budgets = self.problem.budgets
@@ -95,13 +106,24 @@ class EmulationScenario:
             alpha=self.problem.alpha,
             training_budget_s=budgets.training_budget_s,
         )
-        tickets = controller.handle_admission_requests(
-            self.problem.tasks, self.problem.catalog
-        )
+        if self.obs is not None:
+            # solver phases are wall-clock spans read off the
+            # thread-local tracer
+            with use_tracer(self.obs.wall):
+                tickets = controller.handle_admission_requests(
+                    self.problem.tasks, self.problem.catalog
+                )
+        else:
+            tickets = controller.handle_admission_requests(
+                self.problem.tasks, self.problem.catalog
+            )
 
         if self.devices_per_task < 1:
             raise ValueError("devices_per_task must be >= 1")
         simulator = Simulator()
+        obs = self.obs
+        if obs is not None:
+            obs.bind_virtual_clock(lambda: simulator.now)
         cell = LteCell(slice_manager=slice_manager, fading=self.fading)
         rng = np.random.default_rng(self.seed)
         server = EdgeServer(
@@ -109,6 +131,8 @@ class EmulationScenario:
             compute_jitter=self.compute_jitter,
             rng=np.random.default_rng(self.seed + 1),
         )
+        if obs is not None:
+            server.tracer = obs.virtual
         assert controller.last_solution is not None
         for task in self.problem.tasks:
             ticket = tickets[task.task_id]
@@ -139,6 +163,15 @@ class EmulationScenario:
                     else 0.0
                 )
                 ue.start(until=self.duration_s, offset=offset)
+        if obs is not None:
+            sampler = obs.sampler()
+            sampler.add_probe("emulator.pending_events", lambda: simulator.pending)
+            sampler.add_probe(
+                "emulator.gpu_backlog_s",
+                lambda: max(0.0, server.utilization_busy_until - simulator.now),
+            )
+            # stop once only the sampler's own churn would remain
+            sampler.attach(simulator, while_fn=lambda: simulator.pending > 0)
         simulator.run()
         timeline = LatencyTimeline.from_records(server.completed)
         return EmulationResult(
@@ -155,6 +188,7 @@ def run_small_scale_emulation(
     duration_s: float = 20.0,
     radio_blocks: int = 100,
     seed: int = 0,
+    obs: ObsSession | None = None,
 ) -> tuple[DOTProblem, EmulationResult]:
     """The Sec. V-B experiment: small-scale tasks on a 100-RB cell.
 
@@ -166,5 +200,7 @@ def run_small_scale_emulation(
 
     params = replace(SMALL_SCALE, radio_blocks=radio_blocks)
     problem = small_scale_problem(num_tasks, params=params, seed=seed)
-    scenario = EmulationScenario(problem=problem, seed=seed)
+    scenario = EmulationScenario(
+        problem=problem, duration_s=duration_s, seed=seed, obs=obs
+    )
     return problem, scenario.run()

@@ -4,6 +4,14 @@ A minimal, deterministic event loop: events are (time, sequence)
 ordered in a heap; callbacks schedule further events.  Determinism
 matters because the emulation benches assert reproducible latency
 traces.
+
+Cancelled events are purged lazily: :meth:`Event.cancel` notifies the
+owning simulator, and once more than half the heap is dead the queue is
+compacted in one filter + heapify pass.  Workloads that churn timers
+(deadline guards, sampler reschedules) therefore keep the heap bounded
+by the *live* event count instead of growing with every cancellation.
+Because events are totally ordered by ``(time, sequence)``, compaction
+never changes the pop order of the surviving events.
 """
 
 from __future__ import annotations
@@ -23,9 +31,16 @@ class Event:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: owning simulator while the event sits in its heap; cleared on pop
+    #: so a late cancel() cannot skew the dead-event counter
+    _owner: "Simulator | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._owner is not None:
+            self._owner._note_cancelled()
 
 
 class Simulator:
@@ -34,6 +49,7 @@ class Simulator:
     def __init__(self) -> None:
         self._queue: list[Event] = []
         self._sequence = 0
+        self._cancelled = 0
         self.now = 0.0
         self.events_processed = 0
 
@@ -41,7 +57,12 @@ class Simulator:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError("delay must be >= 0")
-        event = Event(time=self.now + delay, sequence=self._sequence, callback=callback)
+        event = Event(
+            time=self.now + delay,
+            sequence=self._sequence,
+            callback=callback,
+            _owner=self,
+        )
         self._sequence += 1
         heapq.heappush(self._queue, event)
         return event
@@ -49,6 +70,21 @@ class Simulator:
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute virtual time ``time``."""
         return self.schedule(max(0.0, time - self.now), callback)
+
+    def _note_cancelled(self) -> None:
+        """A queued event died; compact once the heap is mostly dead."""
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._queue):
+            self._queue = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled = 0
+
+    def _pop(self) -> Event:
+        event = heapq.heappop(self._queue)
+        if event.cancelled:
+            self._cancelled -= 1
+        event._owner = None
+        return event
 
     def run_until(self, end_time: float) -> None:
         """Process events with ``time <= end_time`` in order.
@@ -60,7 +96,7 @@ class Simulator:
         untouched.
         """
         while self._queue and self._queue[0].time <= end_time:
-            event = heapq.heappop(self._queue)
+            event = self._pop()
             if event.cancelled:
                 continue
             self.now = event.time
@@ -71,7 +107,7 @@ class Simulator:
     def run(self) -> None:
         """Run until the event queue drains."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            event = self._pop()
             if event.cancelled:
                 continue
             self.now = event.time
@@ -80,4 +116,5 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Live (non-cancelled) scheduled events, in O(1)."""
+        return len(self._queue) - self._cancelled

@@ -1,0 +1,66 @@
+"""``repro.obs`` — unified tracing, metrics, and trace export.
+
+Three pieces (see :mod:`repro.obs.trace`, :mod:`repro.obs.metrics`,
+:mod:`repro.obs.export`):
+
+* a **span tracer** with wall and DES-virtual clock domains, a
+  thread-local current-tracer context with explicit propagation, and a
+  no-op singleton so disabled instrumentation costs one predicate;
+* a **metrics registry** (counters, gauges, raw-sample histograms) with
+  a periodic DES-clock sampler, on which the existing post-hoc
+  summaries are rebuilt bit-identically;
+* **exporters**: JSONL event logs, Perfetto-loadable Chrome
+  trace-event JSON, and a text flamegraph summary.
+
+:class:`ObsSession` bundles the three for one run; the CLI exposes it
+as ``--trace`` on ``serve-sim`` / ``solve-scale`` / ``emulate`` and via
+``repro trace-summary``.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    flame_summary,
+    jsonl_lines,
+    load_records,
+    phase_breakdown,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, DesSampler, Gauge, Histogram, MetricsRegistry
+from repro.obs.session import ObsSession
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    activate,
+    current_tracer,
+    deactivate,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DesSampler",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "ObsSession",
+    "SpanRecord",
+    "Tracer",
+    "activate",
+    "chrome_trace",
+    "current_tracer",
+    "deactivate",
+    "flame_summary",
+    "jsonl_lines",
+    "load_records",
+    "phase_breakdown",
+    "use_tracer",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,82 @@
+"""One observability session: both clock-domain tracers plus a registry.
+
+An :class:`ObsSession` is the unit the CLI and the runtimes pass
+around: a **wall** tracer (solver phases, engine execution), a
+**virtual** tracer (DES request/frame lifecycles, whose clock the
+owning runtime binds to its simulator at run start), and a
+:class:`~repro.obs.metrics.MetricsRegistry` that collects counters,
+sampled gauge series and latency histograms from the same run.
+
+Nothing here is global: a session observes exactly the components it
+was handed to.  Solver instrumentation reads the thread-local tracer
+(:func:`repro.obs.trace.current_tracer`), so callers scope it with::
+
+    session = ObsSession()
+    with use_tracer(session.wall):
+        runtime = ServingRuntime.from_problem(problem, config)
+    runtime.obs = session
+    metrics = runtime.run()
+    session.write_trace("trace.json")
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from typing import Callable
+
+from repro.obs import export as export_module
+from repro.obs.metrics import DesSampler, MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = ["ObsSession"]
+
+
+class ObsSession:
+    """Tracing + metrics for one run, across both clock domains."""
+
+    def __init__(
+        self,
+        wall_clock: Callable[[], float] = time.perf_counter,
+        sample_period_s: float = 0.05,
+    ) -> None:
+        self.wall = Tracer(clock=wall_clock, domain="wall")
+        # the virtual clock is bound by the runtime once its simulator
+        # exists; until then context-manager spans would stamp 0.0
+        self.virtual = Tracer(clock=lambda: 0.0, domain="virtual")
+        self.registry = MetricsRegistry()
+        self.sample_period_s = sample_period_s
+
+    @property
+    def tracers(self) -> tuple[Tracer, Tracer]:
+        return (self.wall, self.virtual)
+
+    def bind_virtual_clock(self, clock: Callable[[], float]) -> None:
+        """Point the virtual tracer at a simulator's ``now``."""
+        self.virtual.clock = clock
+
+    def sampler(self) -> DesSampler:
+        """A fresh DES sampler feeding this session's registry."""
+        return DesSampler(self.registry, period_s=self.sample_period_s)
+
+    # -- export convenience ------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        return export_module.chrome_trace(self.tracers, registry=self.registry)
+
+    def write_trace(self, path: str | pathlib.Path) -> None:
+        """Write the Perfetto-loadable Chrome trace-event JSON."""
+        export_module.write_chrome_trace(self.tracers, path, registry=self.registry)
+
+    def write_jsonl(self, path: str | pathlib.Path) -> None:
+        export_module.write_jsonl(self.tracers, path)
+
+    def summary(self) -> str:
+        return export_module.flame_summary(self.tracers)
+
+    def phase_breakdown(self) -> dict:
+        return export_module.phase_breakdown(self.tracers)
+
+    @property
+    def span_count(self) -> int:
+        return len(self.wall.records) + len(self.virtual.records)

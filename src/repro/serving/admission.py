@@ -59,6 +59,11 @@ class TokenBucket:
         return admitted
 
     @property
+    def credit(self) -> float:
+        """Currently banked credit, in requests (observability probe)."""
+        return self._credit
+
+    @property
     def served_fraction(self) -> float:
         """Fraction of offered requests admitted so far."""
         if self.offered == 0:

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.core.catalog import Path
 from repro.dnn.layers import Layer
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer, current_tracer
 from repro.serving.queueing import ServingRequest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -120,6 +121,8 @@ class BatchExecutor:
     shard_overhead_s: float = 0.0
     #: smallest request count worth one shard
     min_shard: int = 1
+    #: DES-clock tracer recording one span per executed window
+    tracer: Tracer | NullTracer = NULL_TRACER
     _worker_free_at: list[float] = field(default_factory=list)
     windows: list[WindowReport] = field(default_factory=list)
     total_compute_s: float = 0.0
@@ -181,7 +184,24 @@ class BatchExecutor:
         if self.prefix_cache:
             self.compute_saved_s += report.saved_s
             self.prefix_merges += merges
+        if self.tracer.enabled:
+            self.tracer.record(
+                "window",
+                start,
+                cost,
+                cat="executor",
+                track=f"worker{worker}",
+                args={
+                    "requests": len(requests),
+                    "merges": report.prefix_merges,
+                    "saved_s": report.saved_s,
+                },
+            )
         return report
+
+    def busy_workers(self, now: float) -> int:
+        """Workers still executing at virtual time ``now`` (sampler probe)."""
+        return sum(1 for free_at in self._worker_free_at if free_at > now)
 
     @property
     def busy_until(self) -> float:
@@ -285,8 +305,15 @@ class BlockwiseRunner:
                 break
         if start == 0:
             self.cache_misses += 1
+        tracer = current_tracer()
         for i in range(start, len(block_ids)):
-            x = self._forward(block_ids[i], x)
+            if tracer.enabled:
+                with tracer.span(
+                    f"block.{block_ids[i]}", cat="runner", track="blockwise"
+                ):
+                    x = self._forward(block_ids[i], x)
+            else:
+                x = self._forward(block_ids[i], x)
             prefix = tuple(block_ids[: i + 1])
             if all(bid in self.cacheable for bid in prefix):
                 self._remember((input_key, prefix), x)

@@ -51,6 +51,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dnn.layers import Layer
+from repro.obs.trace import current_tracer
 
 try:  # restricted interpreters may lack _multiprocessing/shm support
     import multiprocessing as _mp
@@ -678,6 +679,16 @@ class MicroBatcher:
         observed = max(wall - self.overhead_s, 0.0) / n
         self.per_sample_s += self.est_alpha * (observed - self.per_sample_s)
         self.reports.append(MicroBatchReport(size=n, wall_s=wall, trigger=trigger))
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.record(
+                "microbatch.flush",
+                start,
+                wall,
+                cat="serving",
+                track="microbatch",
+                args={"size": n, "trigger": trigger},
+            )
         return [
             (request_id, out[i : i + 1])
             for i, (request_id, _, _) in enumerate(batch)

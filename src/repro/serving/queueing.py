@@ -49,6 +49,8 @@ class ServingRequest:
     #: uplink payload β(q) in bits
     bits: float
     uplink_done_at: float = float("nan")
+    #: when the dispatcher pulled the request out of its queue
+    dispatched_at: float = float("nan")
     started_at: float = float("nan")
     completed_at: float = float("nan")
     #: simulated GPU time attributed to this request's window share

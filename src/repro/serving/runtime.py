@@ -36,6 +36,8 @@ from repro.edge.resources import Gpu
 from repro.edge.vim import VirtualInfrastructureManager
 from repro.emulator.lte import LteCell
 from repro.emulator.simulator import Simulator
+from repro.obs.session import ObsSession
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.radio.slicing import SliceManager
 from repro.serving.admission import AdmissionGate
 from repro.serving.executor import BatchExecutor
@@ -43,6 +45,53 @@ from repro.serving.metrics import ServingMetrics, TaskServingMetrics
 from repro.serving.queueing import DropReason, ServingQueue, ServingRequest
 
 __all__ = ["ServingConfig", "ServingRuntime"]
+
+
+def _record_request_spans(
+    tracer: Tracer | NullTracer, request: ServingRequest, result_return_s: float
+) -> None:
+    """Emit one completed request's phase spans on the DES clock.
+
+    The parent ``request`` span covers created → completed; the five
+    children (uplink → queue → batch → execute → complete) partition it
+    exactly, so their durations sum to the end-to-end latency and nest
+    inside the parent on the request's own track.
+    """
+    track = f"task{request.task_id}.req{request.request_id}"
+    cat = "serving"
+    created = request.created_at
+    finished = request.completed_at - result_return_s
+    tracer.record(
+        "request",
+        created,
+        request.completed_at - created,
+        cat=cat,
+        track=track,
+        args={"task": request.task_id, "request": request.request_id},
+    )
+    tracer.record(
+        "uplink", created, request.uplink_done_at - created, cat=cat, track=track
+    )
+    tracer.record(
+        "queue",
+        request.uplink_done_at,
+        request.dispatched_at - request.uplink_done_at,
+        cat=cat,
+        track=track,
+    )
+    tracer.record(
+        "batch",
+        request.dispatched_at,
+        request.started_at - request.dispatched_at,
+        cat=cat,
+        track=track,
+    )
+    tracer.record(
+        "execute", request.started_at, finished - request.started_at, cat=cat, track=track
+    )
+    tracer.record(
+        "complete", finished, request.completed_at - finished, cat=cat, track=track
+    )
 
 
 @dataclass(frozen=True)
@@ -100,6 +149,9 @@ class ServingRuntime:
     solution: DOTSolution
     slice_manager: SliceManager
     config: ServingConfig = field(default_factory=ServingConfig)
+    #: optional observability session — request-lifecycle spans on the
+    #: DES clock, registry counters/histograms, and sampled gauges
+    obs: ObsSession | None = None
 
     # run state (rebuilt by every run() call)
     simulator: Simulator = field(init=False, repr=False)
@@ -149,7 +201,12 @@ class ServingRuntime:
     def run(self) -> ServingMetrics:
         """Execute one seeded serving simulation and summarize it."""
         cfg = self.config
+        obs = self.obs
         sim = self.simulator = Simulator()
+        tracer: Tracer | NullTracer = NULL_TRACER
+        if obs is not None:
+            obs.bind_virtual_clock(lambda: sim.now)
+            tracer = obs.virtual
         cell = LteCell(slice_manager=self.slice_manager)
         cell.reset()
         executor = self.executor = BatchExecutor(
@@ -158,6 +215,7 @@ class ServingRuntime:
             prefix_cache=cfg.prefix_cache,
             num_procs=cfg.num_procs,
             shard_overhead_s=cfg.shard_overhead_s,
+            tracer=tracer,
         )
         # The ticket grants z_τ·λ_τ requests/s; devices offer
         # λ_τ·load_factor.  The bucket meters the granted *rate* against
@@ -174,8 +232,11 @@ class ServingRuntime:
         queues: dict[int, ServingQueue] = {}
         records: list[ServingRequest] = []
         # admitted requests not yet completed or dropped; the dispatcher
-        # keeps ticking until this drains after generation stops
-        state = {"outstanding": 0, "next_id": 0}
+        # keeps ticking until this drains after generation stops.
+        # work_end tracks the last *workload* event time: the sampler
+        # keeps ticking past it, so sim.now alone would make the
+        # reported duration depend on whether tracing was on.
+        state = {"outstanding": 0, "next_id": 0, "work_end": 0.0}
 
         served_tasks = []
         for task in self.problem.tasks:
@@ -205,6 +266,14 @@ class ServingRuntime:
             records.append(request)
             if not gate.allow(task.task_id):
                 request.drop_reason = DropReason.ADMISSION
+                if tracer.enabled:
+                    tracer.event_at(
+                        "drop.admission",
+                        now,
+                        cat="serving",
+                        track=f"task{task.task_id}",
+                        args={"request": request.request_id},
+                    )
             else:
                 state["outstanding"] += 1
                 delivery = cell.enqueue_frame(task.task_id, request.bits, now)
@@ -214,6 +283,14 @@ class ServingRuntime:
                     victim = queues[task.task_id].push(request)
                     if victim is not None:
                         state["outstanding"] -= 1
+                        if tracer.enabled:
+                            tracer.event_at(
+                                "drop.queue_full",
+                                sim.now,
+                                cat="serving",
+                                track=f"task{victim.task_id}",
+                                args={"request": victim.request_id},
+                            )
 
                 sim.schedule_at(delivery, arrive)
             rate = task.request_rate * cfg.load_factor
@@ -235,8 +312,18 @@ class ServingRuntime:
                 while cfg.max_batch is None or len(window) < cfg.max_batch:
                     request, expired = queue.pop_ready(now)
                     state["outstanding"] -= len(expired)
+                    if tracer.enabled:
+                        for victim in expired:
+                            tracer.event_at(
+                                "drop.deadline",
+                                now,
+                                cat="serving",
+                                track=f"task{victim.task_id}",
+                                args={"request": victim.request_id},
+                            )
                     if request is None:
                         break
+                    request.dispatched_at = now
                     window.append(request)
                 if cfg.max_batch is not None and len(window) >= cfg.max_batch:
                     break
@@ -248,13 +335,43 @@ class ServingRuntime:
                     for request in batch:
                         request.completed_at = at
                     state["outstanding"] -= len(batch)
+                    if tracer.enabled:
+                        for request in batch:
+                            _record_request_spans(
+                                tracer, request, cfg.result_return_s
+                            )
 
                 sim.schedule_at(completed_at, complete)
+            state["work_end"] = now
             if now < cfg.duration_s or state["outstanding"] > 0:
                 sim.schedule(cfg.batch_window_s, dispatch)
 
         if served_tasks:
             sim.schedule(cfg.batch_window_s, dispatch)
+        if obs is not None and served_tasks:
+            sampler = obs.sampler()
+            for task, _path in served_tasks:
+                tid = task.task_id
+                queue = queues[tid]
+                sampler.add_probe(f"queue.depth.task{tid}", lambda q=queue: len(q))
+                bucket = gate.bucket(tid)
+                sampler.add_probe(
+                    f"admission.credit.task{tid}", lambda b=bucket: b.credit
+                )
+            sampler.add_probe("serving.outstanding", lambda: state["outstanding"])
+            sampler.add_probe(
+                "executor.busy_workers", lambda: executor.busy_workers(sim.now)
+            )
+            sampler.add_probe("executor.windows", lambda: len(executor.windows))
+            sampler.add_probe(
+                "executor.prefix_merges", lambda: executor.prefix_merges
+            )
+            sampler.attach(
+                sim,
+                while_fn=lambda: (
+                    sim.now < cfg.duration_s or state["outstanding"] > 0
+                ),
+            )
         sim.run()
         # quiet or empty deployments: still advance the clock to the
         # configured horizon (Simulator.run_until works on an empty queue)
@@ -266,12 +383,15 @@ class ServingRuntime:
         for request in records:
             by_task[request.task_id].append(request)
         metrics = ServingMetrics(
-            duration_s=sim.now,
+            duration_s=max(cfg.duration_s, state["work_end"]),
             total_compute_s=executor.total_compute_s,
             compute_saved_s=executor.compute_saved_s,
             windows=len(executor.windows),
             prefix_merges=executor.prefix_merges,
         )
+        registry = obs.registry if obs is not None else None
         for task_id, reqs in by_task.items():
-            metrics.tasks[task_id] = TaskServingMetrics.from_requests(task_id, reqs)
+            metrics.tasks[task_id] = TaskServingMetrics.from_requests(
+                task_id, reqs, registry=registry
+            )
         return metrics

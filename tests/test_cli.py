@@ -112,3 +112,32 @@ class TestCommands:
         problem_file = tmp_path / "p.json"
         main(["export-problem", str(problem_file), "--tasks", "1"])
         assert main(["solve-file", str(problem_file)]) == 0
+
+
+class TestTraceCommands:
+    def test_serve_sim_trace_roundtrip(self, capsys, tmp_path):
+        trace_file = tmp_path / "trace.json"
+        assert main(["serve-sim", "--tasks", "2", "--duration", "1",
+                     "--trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert f"spans to {trace_file}" in out
+        assert "[virtual clock]" in out  # flamegraph epilogue
+        assert trace_file.exists()
+        assert main(["trace-summary", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "request" in out
+        assert "virtual" in out
+
+    def test_bare_trace_prints_flamegraph_only(self, capsys, tmp_path):
+        assert main(["emulate", "--tasks", "2", "--duration", "2",
+                     "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "[virtual clock]" in out
+        assert "frame" in out
+        assert not list(tmp_path.iterdir())  # nothing written
+
+    def test_trace_summary_rejects_invalid_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": "nope"}')
+        assert main(["trace-summary", str(bad)]) == 1
+        assert "invalid chrome trace" in capsys.readouterr().err

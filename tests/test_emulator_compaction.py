@@ -1,0 +1,131 @@
+"""Simulator heap compaction: cancelled events are purged lazily."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.emulator.simulator import Event, Simulator
+
+
+class TestPending:
+    def test_counts_live_events_only(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i), lambda: None) for i in range(1, 5)]
+        assert sim.pending == 4
+        events[0].cancel()
+        assert sim.pending == 3
+        events[1].cancel()
+        assert sim.pending == 2
+
+    def test_zero_after_run(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.pending == 0
+
+    def test_double_cancel_counted_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 1
+
+
+class TestCompaction:
+    def test_heap_stays_bounded_under_timer_churn(self):
+        """The deadline-guard pattern: schedule a timer, cancel it,
+        repeat.  Without compaction the heap grows with every cycle."""
+        sim = Simulator()
+        cycles = 10_000
+
+        def churn(remaining: int) -> None:
+            guard = sim.schedule(1000.0, lambda: None)  # far-future timer
+            guard.cancel()
+            if remaining:
+                sim.schedule(0.001, lambda: churn(remaining - 1))
+
+        sim.schedule(0.0, lambda: churn(cycles))
+        peak = 0
+
+        original_note = sim._note_cancelled
+
+        def tracking_note() -> None:
+            nonlocal peak
+            peak = max(peak, len(sim._queue))
+            original_note()
+
+        sim._note_cancelled = tracking_note
+        sim.run()
+        # at most one live continuation + a handful of dead guards; far
+        # below the 10k the naive heap would retain
+        assert peak <= 8
+        assert sim.pending == 0
+        assert sim.events_processed == cycles + 1
+
+    def test_compaction_preserves_pop_order(self):
+        """(time, sequence) is a total order, so compacting mid-run must
+        not change when the surviving callbacks fire."""
+
+        def build(sim: Simulator, order: list[int]) -> list[Event]:
+            events = []
+            for i in range(50):
+                events.append(
+                    sim.schedule((i % 10) * 0.1, lambda i=i: order.append(i))
+                )
+            return events
+
+        plain_sim, plain_order = Simulator(), []
+        events = build(plain_sim, plain_order)
+        for i in range(0, 50, 2):
+            events[i].cancelled = True  # mark dead without notifying
+        plain_sim._cancelled = 0  # never triggers compaction
+        plain_sim.run()
+
+        compacting_sim, compacting_order = Simulator(), []
+        events = build(compacting_sim, compacting_order)
+        for i in range(0, 50, 2):
+            events[i].cancel()  # notifies -> compacts repeatedly
+        compacting_sim.run()
+
+        assert compacting_order == plain_order
+
+    def test_cancel_after_pop_does_not_skew_counter(self):
+        """Cancelling an event from inside its own callback (or after it
+        ran) must not decrement the dead count of a later compaction."""
+        sim = Simulator()
+        self_ref: list[Event] = []
+
+        def cancel_self() -> None:
+            self_ref[0].cancel()
+
+        self_ref.append(sim.schedule(0.1, cancel_self))
+        survivor_ran = []
+        sim.schedule(0.2, lambda: survivor_ran.append(True))
+        sim.run()
+        assert survivor_ran == [True]
+        assert sim._cancelled == 0
+        assert sim.pending == 0
+
+    def test_cancelled_events_do_not_run(self):
+        sim = Simulator()
+        ran = []
+        event = sim.schedule(0.1, lambda: ran.append("cancelled"))
+        sim.schedule(0.2, lambda: ran.append("kept"))
+        event.cancel()
+        sim.run()
+        assert ran == ["kept"]
+
+    def test_run_until_with_cancellations(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(0.1, lambda: ran.append(1))
+        dead = sim.schedule(0.2, lambda: ran.append(2))
+        sim.schedule(0.3, lambda: ran.append(3))
+        dead.cancel()
+        sim.run_until(0.25)
+        assert ran == [1]
+        assert sim.now == pytest.approx(0.25)
+        assert sim.pending == 1
+        sim.run()
+        assert ran == [1, 3]

@@ -1,0 +1,75 @@
+"""Injectable clocks pin measured times exactly (no perf_counter flake).
+
+The baselines and the profiler report wall-clock measurements
+(``solve_time_s``, per-block ``compute_time_s``).  With the default
+``time.perf_counter`` those are only testable as "positive"; with an
+injected fake clock the exact values are asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.greedy import GreedyNoSharingSolver
+from repro.baselines.random_policy import RandomPathSolver
+from repro.baselines.semoran import SemORANSolver
+from repro.dnn.profiler import profile_model, time_forward
+from repro.dnn.resnet import build_resnet18
+from repro.workloads.smallscale import small_scale_problem
+
+
+class SteppingClock:
+    """Returns 0, step, 2*step, ... — one tick per call."""
+
+    def __init__(self, step: float = 1.0):
+        self.step = step
+        self.calls = 0
+
+    def __call__(self) -> float:
+        value = self.calls * self.step
+        self.calls += 1
+        return value
+
+
+class TestBaselineSolveTime:
+    @pytest.mark.parametrize(
+        "solver_cls",
+        [GreedyNoSharingSolver, RandomPathSolver, SemORANSolver],
+    )
+    def test_solve_time_is_clock_delta(self, solver_cls):
+        problem = small_scale_problem(3, seed=0)
+        clock = SteppingClock(step=0.125)
+        solver = solver_cls(clock=clock)
+        solution = solver.solve(problem)
+        # exactly two reads: one at entry, one at exit
+        assert clock.calls == 2
+        assert solution.solve_time_s == 0.125
+
+    def test_default_clock_still_measures(self):
+        problem = small_scale_problem(2, seed=0)
+        solution = GreedyNoSharingSolver().solve(problem)
+        assert solution.solve_time_s >= 0.0
+
+
+class TestProfilerClock:
+    def test_time_forward_median_of_fake_samples(self):
+        # start/end pairs: (0,1), (2,3), (4,5) -> samples [1, 1, 1]
+        clock = SteppingClock(step=1.0)
+        calls = []
+        elapsed = time_forward(
+            lambda x: calls.append(x), None, repeats=3, warmup=2, clock=clock
+        )
+        assert elapsed == 1.0
+        assert clock.calls == 6  # warmup is never timed
+        assert len(calls) == 5  # 2 warmup + 3 timed
+
+    def test_time_forward_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            time_forward(lambda x: x, None, repeats=0)
+
+    def test_profile_model_uses_injected_clock(self):
+        model = build_resnet18(num_classes=10, input_size=16, width=8, seed=0)
+        profile = profile_model(model, repeats=1, warmup=0, clock=SteppingClock())
+        # every block's single timed forward spans exactly one tick
+        assert all(b.compute_time_s == 1.0 for b in profile.blocks)
+        assert profile.total_compute_time_s == float(len(profile.blocks))

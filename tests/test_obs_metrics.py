@@ -1,0 +1,122 @@
+"""Metrics registry unit tests: instruments, collisions, DES sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.emulator.simulator import Simulator
+from repro.obs.metrics import Counter, DesSampler, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_gauge_set_vs_sample(self):
+        gauge = Gauge("g")
+        gauge.set(4.0)
+        assert gauge.value == 4.0
+        assert gauge.series == []
+        gauge.sample(1.0, 7.0)
+        assert gauge.value == 7.0
+        assert gauge.series == [(1.0, 7.0)]
+
+    def test_histogram_matches_numpy_percentile(self):
+        histogram = Histogram("h")
+        samples = [0.010, 0.030, 0.020, 0.500]
+        for value in samples:
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.mean == pytest.approx(np.mean(samples))
+        assert histogram.percentile(95) == float(np.percentile(samples, 95))
+        assert histogram.max == 0.500
+        assert histogram.sum == pytest.approx(sum(samples))
+
+    def test_empty_histogram_is_nan(self):
+        histogram = Histogram("h")
+        assert histogram.count == 0
+        assert histogram.sum == 0.0
+        assert np.isnan(histogram.mean)
+        assert np.isnan(histogram.percentile(50))
+        assert np.isnan(histogram.max)
+
+    def test_histogram_summary_keys(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        assert set(histogram.summary()) == {"count", "mean", "p50", "p95", "p99", "max"}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_name_bound_to_one_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="another kind"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="another kind"):
+            registry.histogram("x")
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("depth").sample(0.5, 2.0)
+        registry.histogram("lat").observe(0.01)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"hits": 3.0}
+        assert snapshot["gauges"]["depth"]["series"] == [[0.5, 2.0]]
+        assert snapshot["histograms"]["lat"]["count"] == 1
+        json.dumps(snapshot)  # must not raise
+
+
+class TestDesSampler:
+    def test_period_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DesSampler(MetricsRegistry(), period_s=0.0)
+
+    def test_samples_on_virtual_clock(self):
+        registry = MetricsRegistry()
+        sim = Simulator()
+        sampler = DesSampler(registry, period_s=0.05)
+        sampler.add_probe("clock", lambda: sim.now * 10)
+        sampler.attach(sim, while_fn=lambda: sim.now < 0.149)
+        sim.run()
+        series = registry.gauge("clock").series
+        assert [t for t, _ in series] == pytest.approx([0.0, 0.05, 0.10, 0.15])
+        assert [v for _, v in series] == pytest.approx([0.0, 0.5, 1.0, 1.5])
+        assert sampler.samples_taken == 4
+
+    def test_does_not_keep_drained_queue_alive(self):
+        """With while_fn false the sampler stops after one tick."""
+        registry = MetricsRegistry()
+        sim = Simulator()
+        sampler = DesSampler(registry, period_s=0.05)
+        sampler.add_probe("x", lambda: 1.0)
+        sampler.attach(sim, while_fn=lambda: sim.pending > 0)
+        sim.schedule(0.12, lambda: None)
+        sim.run()
+        # ticks at 0, 0.05, 0.10 see the workload event pending; the
+        # tick at 0.15 (after it ran) sees an empty queue and stops
+        assert sampler.samples_taken == 4
+        assert sim.now == pytest.approx(0.15)
+
+    def test_multiple_probes_share_the_tick(self):
+        registry = MetricsRegistry()
+        sim = Simulator()
+        sampler = DesSampler(registry, period_s=0.1)
+        sampler.add_probe("a", lambda: 1.0)
+        sampler.add_probe("b", lambda: 2.0)
+        sampler.attach(sim, while_fn=lambda: False)
+        sim.run()
+        assert registry.gauge("a").series == [(0.0, 1.0)]
+        assert registry.gauge("b").series == [(0.0, 2.0)]

@@ -1,0 +1,169 @@
+"""Span tracer unit tests: recording, context, zero-cost disabled path."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    activate,
+    current_tracer,
+    deactivate,
+    use_tracer,
+)
+
+
+class FakeClock:
+    """Deterministic clock: returns queued values in order."""
+
+    def __init__(self, *values: float):
+        self.values = list(values)
+
+    def __call__(self) -> float:
+        return self.values.pop(0)
+
+
+class TestNullTracer:
+    def test_disabled_predicate(self):
+        assert NULL_TRACER.enabled is False
+        assert NullTracer.enabled is False
+
+    def test_span_is_shared_noop(self):
+        with NULL_TRACER.span("anything", cat="x", foo=1) as span:
+            pass
+        # the same context-manager object every time: no allocation
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+        assert span is NULL_TRACER.span("c")
+
+    def test_record_and_events_do_nothing(self):
+        NULL_TRACER.record("x", 0.0, 1.0)
+        NULL_TRACER.event("x")
+        NULL_TRACER.event_at("x", 5.0)
+        # NullTracer has no storage at all
+        assert not hasattr(NULL_TRACER, "records")
+
+
+class TestTracer:
+    def test_span_records_interval(self):
+        tracer = Tracer(clock=FakeClock(10.0, 12.5), domain="wall")
+        with tracer.span("phase", cat="solver", track="t0", items=3):
+            pass
+        assert tracer.records == [
+            SpanRecord(
+                name="phase",
+                ts=10.0,
+                dur=2.5,
+                cat="solver",
+                track="t0",
+                args={"items": 3},
+            )
+        ]
+
+    def test_span_records_even_on_exception(self):
+        tracer = Tracer(clock=FakeClock(1.0, 2.0))
+        try:
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert len(tracer.records) == 1
+        assert tracer.records[0].dur == 1.0
+
+    def test_explicit_record_never_calls_clock(self):
+        tracer = Tracer(clock=FakeClock(), domain="virtual")  # empty clock
+        tracer.record("des", 3.0, 0.25, track="req1")
+        assert tracer.records[0].ts == 3.0
+        assert tracer.records[0].dur == 0.25
+        assert tracer.records[0].phase == "X"
+
+    def test_event_at_is_instant(self):
+        tracer = Tracer(domain="virtual")
+        tracer.event_at("drop", 7.0, cat="serving", args={"request": 3})
+        record = tracer.records[0]
+        assert record.phase == "i"
+        assert record.dur == 0.0
+        assert record.ts == 7.0
+
+    def test_event_stamps_clock(self):
+        tracer = Tracer(clock=FakeClock(4.0))
+        tracer.event("tick", foo="bar")
+        assert tracer.records[0].ts == 4.0
+        assert tracer.records[0].args == {"foo": "bar"}
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.event_at("x", 0.0)
+        tracer.clear()
+        assert tracer.records == []
+
+    def test_enabled_by_default(self):
+        assert Tracer().enabled is True
+
+
+class TestThreadLocalContext:
+    def test_default_is_null(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_activate_deactivate(self):
+        tracer = Tracer()
+        activate(tracer)
+        try:
+            assert current_tracer() is tracer
+        finally:
+            deactivate()
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_previous(self):
+        outer, inner = Tracer(), Tracer()
+        with use_tracer(outer):
+            with use_tracer(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_on_exception(self):
+        tracer = Tracer()
+        try:
+            with use_tracer(tracer):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert current_tracer() is NULL_TRACER
+
+    def test_threads_do_not_inherit_context(self):
+        """Propagation into workers is explicit, never ambient."""
+        tracer = Tracer()
+        seen: list[object] = []
+
+        def worker():
+            seen.append(current_tracer())
+            activate(tracer)  # explicit opt-in works
+            seen.append(current_tracer())
+            deactivate()
+
+        with use_tracer(tracer):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == [NULL_TRACER, tracer]
+
+    def test_threads_may_share_one_tracer(self):
+        """List appends are GIL-atomic; workers record into one tracer."""
+        tracer = Tracer(domain="wall")
+
+        def worker(i: int):
+            activate(tracer)
+            tracer.record(f"job{i}", float(i), 1.0)
+            deactivate()
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(r.name for r in tracer.records) == [
+            "job0", "job1", "job2", "job3",
+        ]

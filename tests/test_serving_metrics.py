@@ -54,8 +54,10 @@ class TestZeroRequestMetrics:
         assert math.isnan(metrics.deadline_miss_rate)
         rows = metrics.summary_rows()
         assert len(rows) == 1
-        # p50/p95 cells are NaN but the row renders without raising
-        assert rows[0][0] == 1 and math.isnan(rows[0][3])
+        # p50/p95/miss cells are undefined without completions and must
+        # render as "-" rather than leaking nan (or 100.0 * nan)
+        assert rows[0][0] == 1
+        assert rows[0][3] == "-" and rows[0][4] == "-" and rows[0][5] == "-"
 
     def test_zero_duration_throughput_is_nan(self):
         assert math.isnan(ServingMetrics(duration_s=0.0).throughput_rps)
