@@ -15,6 +15,8 @@ Public API tour:
 * the Colosseum-substitute emulator: :mod:`repro.emulator`
 * the serving runtime executing admitted streams: :mod:`repro.serving`
   (``ServingRuntime``, ``TokenBucket``, ``ServingMetrics``)
+* the multi-node serving fabric: :mod:`repro.cluster`
+  (``ClusterOrchestrator``, ``NodeSpec``, ``StreamRouter``)
 * tracing/metrics/trace export: :mod:`repro.obs`
   (``ObsSession``, ``use_tracer``, ``MetricsRegistry``)
 * figure/table reproduction: :mod:`repro.analysis`
@@ -45,6 +47,7 @@ from repro.core import (
     objective_value,
 )
 from repro.baselines import SemORANSolver
+from repro.cluster import ClusterOrchestrator, NodeSpec, StreamRouter
 from repro.obs import ObsSession, use_tracer
 from repro.serving import ServingConfig, ServingMetrics, ServingRuntime, TokenBucket
 from repro.workloads import (
@@ -61,8 +64,10 @@ __all__ = [
     "Block",
     "Budgets",
     "Catalog",
+    "ClusterOrchestrator",
     "DOTProblem",
     "DOTSolution",
+    "NodeSpec",
     "ObsSession",
     "OffloaDNNSolver",
     "OptimalSolver",
@@ -72,6 +77,7 @@ __all__ = [
     "ServingConfig",
     "ServingMetrics",
     "ServingRuntime",
+    "StreamRouter",
     "Task",
     "TokenBucket",
     "RequestRate",

@@ -101,33 +101,55 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["fig2", "fig3", "fig6", "fig7", "fig9", "fig10", "fig11", "headline"],
     )
 
+    def _add_serve_args(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--tasks", type=int, default=5, help="number of tasks (1..5)"
+        )
+        parser.add_argument("--duration", type=float, default=10.0, help="seconds")
+        parser.add_argument(
+            "--load", type=float, default=1.0, help="offered-load multiplier on λ"
+        )
+        parser.add_argument("--policy", choices=["fifo", "edf"], default="edf")
+        parser.add_argument(
+            "--window", type=float, default=0.005, help="batch window (s)"
+        )
+        parser.add_argument("--workers", type=int, default=1)
+        parser.add_argument(
+            "--procs", type=int, default=1,
+            help="data-parallel processes per batching window "
+            "(models repro.serving.parallel sharding; single-node only)",
+        )
+        parser.add_argument(
+            "--slice-margin", type=int, default=2,
+            help="extra RBs per admitted slice (uplink headroom for batching)",
+        )
+        parser.add_argument(
+            "--no-prefix-cache", action="store_true",
+            help="disable shared-block prefix fusion in the executor",
+        )
+        parser.add_argument("--poisson", action="store_true", help="Poisson arrivals")
+        parser.add_argument("--seed", type=int, default=0)
+        _add_trace_arg(parser)
+
     serve = sub.add_parser(
         "serve-sim", help="run the serving runtime on the small-scale scenario"
     )
-    serve.add_argument("--tasks", type=int, default=5, help="number of tasks (1..5)")
-    serve.add_argument("--duration", type=float, default=10.0, help="seconds")
+    _add_serve_args(serve)
     serve.add_argument(
-        "--load", type=float, default=1.0, help="offered-load multiplier on λ"
+        "--cluster", default=None, metavar="NODES",
+        help="serve across a multi-node fabric: a nodes.json topology "
+        "file or an integer edge-node count",
     )
-    serve.add_argument("--policy", choices=["fifo", "edf"], default="edf")
-    serve.add_argument("--window", type=float, default=0.005, help="batch window (s)")
-    serve.add_argument("--workers", type=int, default=1)
-    serve.add_argument(
-        "--procs", type=int, default=1,
-        help="data-parallel processes per batching window "
-        "(models repro.serving.parallel sharding)",
+
+    serve_cluster = sub.add_parser(
+        "serve-cluster",
+        help="serve the small-scale scenario across a multi-node fabric",
     )
-    serve.add_argument(
-        "--slice-margin", type=int, default=2,
-        help="extra RBs per admitted slice (uplink headroom for batching)",
+    serve_cluster.add_argument(
+        "nodes",
+        help="nodes.json topology file or an integer edge-node count",
     )
-    serve.add_argument(
-        "--no-prefix-cache", action="store_true",
-        help="disable shared-block prefix fusion in the executor",
-    )
-    serve.add_argument("--poisson", action="store_true", help="Poisson arrivals")
-    serve.add_argument("--seed", type=int, default=0)
-    _add_trace_arg(serve)
+    _add_serve_args(serve_cluster)
 
     trace_summary = sub.add_parser(
         "trace-summary", help="validate and summarize a recorded trace file"
@@ -382,6 +404,17 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_topology(spec: str):
+    """Resolve a --cluster value: integer mesh size or nodes.json path."""
+    from repro.cluster import ClusterTopology, default_topology
+
+    try:
+        num_nodes = int(spec)
+    except ValueError:
+        return ClusterTopology.load(spec)
+    return default_topology(num_nodes)
+
+
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
     from repro.core.heuristic import OffloaDNNSolver
     from repro.serving import ServingConfig, ServingRuntime
@@ -389,6 +422,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
 
     import contextlib
 
+    cluster_spec = getattr(args, "cluster", None) or getattr(args, "nodes", None)
     obs = None
     scope = contextlib.nullcontext()
     if args.trace is not None:
@@ -413,6 +447,14 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             problem, config, solver=OffloaDNNSolver(slice_margin_rbs=args.slice_margin)
         )
     runtime.obs = obs
+    topology = None
+    if cluster_spec is not None:
+        from repro.cluster import ClusterDeployment
+
+        topology = _load_topology(cluster_spec)
+        runtime.cluster = ClusterDeployment.place(
+            problem, runtime.solution, runtime.tickets, topology
+        )
     metrics = runtime.run()
     print(
         f"serving {args.tasks} tasks for {args.duration:g} s "
@@ -439,6 +481,21 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             else ""
         )
     )
+    if topology is not None:
+        qos = runtime.executor.qos
+        print(
+            f"cluster: {len(topology.nodes)} nodes, "
+            f"{runtime.cluster.plan.split_tasks} split paths, "
+            f"{qos.bytes_streamed} bytes streamed"
+        )
+        print(
+            format_table(
+                list(qos.NODE_HEADER), qos.node_rows(metrics.duration_s), precision=1
+            )
+        )
+        link_rows = qos.link_rows()
+        if link_rows:
+            print(format_table(list(qos.LINK_HEADER), link_rows, precision=0))
     if obs is not None:
         _finish_trace(obs, args.trace)
     return 0
@@ -540,6 +597,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "reproduce": _cmd_reproduce,
     "serve-sim": _cmd_serve_sim,
+    "serve-cluster": _cmd_serve_sim,
     "trace-summary": _cmd_trace_summary,
     "sweep": _cmd_sweep,
     "export-problem": _cmd_export_problem,

@@ -1,0 +1,145 @@
+"""Cluster node roles: specs (what a node advertises) and live state.
+
+A :class:`NodeSpec` is the static description a node publishes to the
+registry when it joins the fabric — its tier (edge or cloud), relative
+CPU capacity, memory, worker count, which block configs of the Table I
+repository it holds resident, and a per-dispatch failure rate for
+fault-injection studies.  A :class:`ClusterNode` wraps one spec with
+the mutable serving-time state: per-worker free times (the same
+earliest-free-worker discipline as the single-node
+:class:`~repro.serving.executor.BatchExecutor`) and clamped busy-time
+accounting reused from the emulator's :class:`~repro.emulator.nodes.
+BusyTracker` so per-node utilization gauges never report > 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.emulator.nodes import BusyTracker
+
+__all__ = ["NodeSpec", "ClusterNode"]
+
+#: recognised node tiers, in placement preference order
+TIERS = ("edge", "cloud")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """What one node advertises when registering with the fabric."""
+
+    node_id: str
+    #: ``"edge"`` (low-latency, near the cell) or ``"cloud"`` (far tier)
+    tier: str = "edge"
+    #: relative CPU speed: a block costing ``c(s)`` profiled seconds
+    #: executes in ``c(s) / cpu_scale`` on this node
+    cpu_scale: float = 1.0
+    memory_gb: float = 8.0
+    #: concurrent batching windows the node can execute
+    num_workers: int = 1
+    #: block ids of the Table I repository resident on this node;
+    #: ``None`` advertises the full repository (replicated deployment)
+    resident_blocks: frozenset[str] | None = None
+    #: probability one segment dispatch to this node fails (fault injection)
+    failure_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise ValueError("node_id must be non-empty")
+        if self.tier not in TIERS:
+            raise ValueError(f"tier must be one of {TIERS}, got {self.tier!r}")
+        if self.cpu_scale <= 0:
+            raise ValueError("cpu_scale must be positive")
+        if self.memory_gb <= 0:
+            raise ValueError("memory_gb must be positive")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError("failure_rate must be in [0, 1)")
+
+    def hosts(self, block_ids) -> bool:
+        """Whether every block in ``block_ids`` is resident here."""
+        if self.resident_blocks is None:
+            return True
+        return all(bid in self.resident_blocks for bid in block_ids)
+
+
+@dataclass
+class ClusterNode:
+    """One registered node's serving-time state."""
+
+    spec: NodeSpec
+    _worker_free_at: list[float] = field(default_factory=list)
+    #: one clamped busy tracker per worker (per-worker service intervals
+    #: are FIFO and non-overlapping, which is what BusyTracker assumes)
+    busy: list[BusyTracker] = field(default_factory=list)
+    #: segment executions completed (including retried dispatches)
+    segments_executed: int = 0
+    #: dispatches that failed on this node (fault injection draws)
+    dispatch_failures: int = 0
+
+    def __post_init__(self) -> None:
+        if not self._worker_free_at:
+            self._worker_free_at = [0.0] * self.spec.num_workers
+        if not self.busy:
+            self.busy = [BusyTracker() for _ in range(self.spec.num_workers)]
+
+    @property
+    def node_id(self) -> str:
+        return self.spec.node_id
+
+    @property
+    def busy_until(self) -> float:
+        return max(self._worker_free_at)
+
+    @property
+    def earliest_free_at(self) -> float:
+        return min(self._worker_free_at)
+
+    def busy_workers(self, now: float) -> int:
+        return sum(1 for free_at in self._worker_free_at if free_at > now)
+
+    def scaled_cost(self, compute_s: float) -> float:
+        """Execution time of ``compute_s`` profiled seconds on this CPU."""
+        return compute_s / self.spec.cpu_scale
+
+    def execute(self, compute_s: float, now: float) -> tuple[float, float]:
+        """Queue ``compute_s`` of (already scaled) work; returns (start, finish).
+
+        The earliest-free worker takes the job, exactly like the
+        single-node executor's pool, so a one-node cluster reproduces
+        the plain :class:`~repro.serving.executor.BatchExecutor` timing.
+        """
+        worker = min(
+            range(len(self._worker_free_at)), key=lambda w: self._worker_free_at[w]
+        )
+        start = max(now, self._worker_free_at[worker])
+        finish = start + compute_s
+        self._worker_free_at[worker] = finish
+        self.busy[worker].add(start, finish)
+        self.segments_executed += 1
+        return start, finish
+
+    @property
+    def busy_time_s(self) -> float:
+        """Total worker-seconds of service (unclamped)."""
+        return sum(tracker.total_s for tracker in self.busy)
+
+    def utilization(self, duration_s: float) -> float:
+        """Mean worker busy fraction over ``[0, duration_s]``, clamped.
+
+        Uses the same clamped-window accounting as
+        :meth:`repro.emulator.nodes.EdgeServer.utilization`, so service
+        tails past the horizon never push the gauge above 1.0.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        busy_within = sum(tracker.within(duration_s) for tracker in self.busy)
+        return min(1.0, busy_within / (self.spec.num_workers * duration_s))
+
+    def reset(self) -> None:
+        self._worker_free_at = [0.0] * self.spec.num_workers
+        for tracker in self.busy:
+            tracker.clear()
+        self.segments_executed = 0
+        self.dispatch_failures = 0

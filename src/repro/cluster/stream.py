@@ -1,0 +1,260 @@
+"""Activation streams: simulated links and a real asyncio transport.
+
+The :class:`StreamRouter` moves encoded activation frames between
+nodes.  Two carriers implement the same framing (:mod:`repro.cluster.
+wire`):
+
+* :class:`SimulatedLink` — the default.  DES-timed and deterministic:
+  a transfer occupies the link FIFO for ``latency + bytes·8/bandwidth``
+  seconds, with an optional seeded stall process for fault-injection
+  (a stalled transfer takes ``stall_factor×`` longer, which is how the
+  runtime's ``transfer_timeout`` drop reason gets exercised).  Nothing
+  here touches a socket; virtual time comes from the caller.
+
+* asyncio TCP (:func:`serve_tensors` / :func:`send_tensor`) — a real
+  transport speaking the identical length-prefixed frames, for running
+  a segment host out-of-process.  The serving simulation never uses it
+  (the DES cannot wait on real sockets), but the codec and framing are
+  shared, so bytes measured on a simulated link are exactly the bytes
+  a TCP hop would carry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+
+import numpy as np
+
+from repro.cluster import wire
+
+__all__ = [
+    "LinkSpec",
+    "SimulatedLink",
+    "StreamRouter",
+    "serve_tensors",
+    "send_tensor",
+]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static description of one directed node-to-node link."""
+
+    src: str
+    dst: str
+    bandwidth_bps: float = 1e9
+    latency_s: float = 0.0005
+    #: probability one transfer stalls (fault injection; 0 = never)
+    stall_rate: float = 0.0
+    #: duration multiplier applied to a stalled transfer
+    stall_factor: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be >= 0")
+        if not 0.0 <= self.stall_rate < 1.0:
+            raise ValueError("stall_rate must be in [0, 1)")
+        if self.stall_factor < 1.0:
+            raise ValueError("stall_factor must be >= 1")
+
+
+@dataclass
+class SimulatedLink:
+    """FIFO link with DES-timed transfers and seeded stall injection."""
+
+    spec: LinkSpec
+    _busy_until: float = 0.0
+    #: bytes carried (headers included), for per-hop accounting
+    bytes_transferred: int = 0
+    transfers: int = 0
+    stalls: int = 0
+
+    def duration(self, nbytes: int) -> float:
+        """Nominal (unstalled) occupancy of one ``nbytes`` transfer."""
+        return self.spec.latency_s + nbytes * 8.0 / self.spec.bandwidth_bps
+
+    def transfer(
+        self, nbytes: int, now: float, rng: np.random.Generator | None = None
+    ) -> tuple[float, bool]:
+        """Carry ``nbytes`` starting no earlier than ``now``.
+
+        Returns ``(delivery_time, stalled)``.  Transfers of the same
+        link queue FIFO; a stall (drawn from ``rng`` against the spec's
+        ``stall_rate``) inflates this transfer's duration by
+        ``stall_factor`` — the caller decides whether that breaches its
+        timeout.
+        """
+        start = max(now, self._busy_until)
+        duration = self.duration(nbytes)
+        stalled = False
+        if self.spec.stall_rate > 0.0 and rng is not None:
+            stalled = bool(rng.random() < self.spec.stall_rate)
+            if stalled:
+                duration *= self.spec.stall_factor
+                self.stalls += 1
+        delivery = start + duration
+        self._busy_until = delivery
+        self.bytes_transferred += nbytes
+        self.transfers += 1
+        return delivery, stalled
+
+    def reset(self) -> None:
+        self._busy_until = 0.0
+        self.bytes_transferred = 0
+        self.transfers = 0
+        self.stalls = 0
+
+
+@dataclass
+class StreamRouter:
+    """Routes activation frames between registered nodes.
+
+    Holds one :class:`SimulatedLink` per directed ``(src, dst)`` pair.
+    Missing pairs fall back to ``default_spec`` (a homogeneous mesh),
+    created lazily — in deterministic insertion order, since routing is
+    driven by the sorted dispatch loop.  A self-hop is free: segment
+    boundaries placed on the same node exchange activations in memory.
+    """
+
+    links: dict[tuple[str, str], SimulatedLink] = field(default_factory=dict)
+    default_spec: LinkSpec | None = None
+    #: ship activations as fp16 frames (halves payload bytes)
+    fp16_activations: bool = False
+
+    def add_link(self, spec: LinkSpec) -> SimulatedLink:
+        link = SimulatedLink(spec=spec)
+        self.links[(spec.src, spec.dst)] = link
+        return link
+
+    def link(self, src: str, dst: str) -> SimulatedLink:
+        key = (src, dst)
+        existing = self.links.get(key)
+        if existing is not None:
+            return existing
+        if self.default_spec is None:
+            raise KeyError(f"no link {src} -> {dst} and no default spec")
+        spec = LinkSpec(
+            src=src,
+            dst=dst,
+            bandwidth_bps=self.default_spec.bandwidth_bps,
+            latency_s=self.default_spec.latency_s,
+            stall_rate=self.default_spec.stall_rate,
+            stall_factor=self.default_spec.stall_factor,
+        )
+        return self.add_link(spec)
+
+    def transfer_bits(
+        self,
+        src: str,
+        dst: str,
+        payload_bits: float,
+        now: float,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[float, bool, int]:
+        """Move an abstract activation of ``payload_bits`` from src to dst.
+
+        Returns ``(delivery_time, stalled, frame_bytes)``.  The byte
+        count charged is the *encoded* frame size — wire header plus
+        payload, with the router's fp16 knob applied — so the DES pays
+        for exactly what :func:`repro.cluster.wire.encode_frame` would
+        put on a socket (4-D activations: N×C×H×W).
+        """
+        if src == dst:
+            return now, False, 0
+        payload_bytes = int(np.ceil(payload_bits / 8.0))
+        if self.fp16_activations:
+            payload_bytes = (payload_bytes + 1) // 2
+        nbytes = wire.header_nbytes(ndim=4) + payload_bytes
+        delivery, stalled = self.link(src, dst).transfer(nbytes, now, rng)
+        return delivery, stalled, nbytes
+
+    def send_tensor(
+        self, src: str, dst: str, tensor: np.ndarray, now: float
+    ) -> tuple[float, bytes]:
+        """Encode a real tensor and time its simulated transfer.
+
+        Returns ``(delivery_time, frame)`` — the frame is the actual
+        wire encoding, so tests can assert byte-level determinism on
+        what the link carried.
+        """
+        frame = wire.encode_frame(tensor, downcast_fp16=self.fp16_activations)
+        if src == dst:
+            return now, frame
+        delivery, _stalled = self.link(src, dst).transfer(len(frame), now)
+        return delivery, frame
+
+    def reset(self) -> None:
+        for link in self.links.values():
+            link.reset()
+
+
+# -- real asyncio transport ------------------------------------------------
+
+_LEN = 8  # u64 length prefix, little-endian
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> np.ndarray:
+    header = await reader.readexactly(_LEN)
+    length = int.from_bytes(header, "little")
+    payload = await reader.readexactly(length)
+    tensor, _consumed = wire.decode_frame(payload)
+    return tensor
+
+
+def _write_frame(writer: asyncio.StreamWriter, tensor: np.ndarray, fp16: bool) -> None:
+    frame = wire.encode_frame(tensor, downcast_fp16=fp16)
+    writer.write(len(frame).to_bytes(_LEN, "little") + frame)
+
+
+async def serve_tensors(
+    handler: Callable[[np.ndarray], np.ndarray | Awaitable[np.ndarray]],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    fp16: bool = False,
+) -> asyncio.AbstractServer:
+    """Serve activation frames over TCP: each request tensor is passed
+    to ``handler`` (sync or async) and the result streamed back.
+
+    Returns the started server; the bound port is
+    ``server.sockets[0].getsockname()[1]`` when ``port=0``.
+    """
+
+    async def on_connection(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    tensor = await _read_frame(reader)
+                except asyncio.IncompleteReadError:
+                    break
+                result = handler(tensor)
+                if asyncio.iscoroutine(result):
+                    result = await result
+                _write_frame(writer, result, fp16)
+                await writer.drain()
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(on_connection, host, port)
+
+
+async def send_tensor(
+    tensor: np.ndarray, host: str, port: int, fp16: bool = False
+) -> np.ndarray:
+    """Ship one tensor to a :func:`serve_tensors` host; returns the reply."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        _write_frame(writer, tensor, fp16)
+        await writer.drain()
+        return await _read_frame(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass

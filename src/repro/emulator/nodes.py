@@ -19,7 +19,47 @@ from repro.emulator.lte import LteCell
 from repro.emulator.simulator import Simulator
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
-__all__ = ["FrameRecord", "EdgeServer", "UserEquipment"]
+__all__ = ["BusyTracker", "FrameRecord", "EdgeServer", "UserEquipment"]
+
+
+@dataclass
+class BusyTracker:
+    """Merged busy-interval accounting, clamped to a query window.
+
+    Service intervals on a FIFO resource are non-overlapping and start
+    in nondecreasing order, so adjacent intervals coalesce into few
+    contiguous busy periods.  ``within(duration_s)`` counts only the
+    busy time inside ``[0, duration_s]`` — the fix for utilization
+    reporting > 1.0 when the last service extends past the measured run
+    horizon.  The cluster layer's per-node gauges
+    (:mod:`repro.cluster.qos`) reuse this accounting.
+    """
+
+    #: merged (start, finish) busy periods, ascending and disjoint
+    periods: list[tuple[float, float]] = field(default_factory=list)
+    total_s: float = 0.0
+
+    def add(self, start: float, finish: float) -> None:
+        if finish < start:
+            raise ValueError("finish must be >= start")
+        self.total_s += finish - start
+        if self.periods:
+            last_start, last_finish = self.periods[-1]
+            if start <= last_finish + 1e-12:  # contiguous service: coalesce
+                self.periods[-1] = (last_start, max(last_finish, finish))
+                return
+        self.periods.append((start, finish))
+
+    def within(self, duration_s: float) -> float:
+        """Busy seconds that fall inside the window ``[0, duration_s]``."""
+        return sum(
+            max(0.0, min(finish, duration_s) - min(start, duration_s))
+            for start, finish in self.periods
+        )
+
+    def clear(self) -> None:
+        self.periods.clear()
+        self.total_s = 0.0
 
 
 @dataclass
@@ -53,8 +93,8 @@ class EdgeServer:
     #: DES-clock tracer; one span set per completed frame when enabled
     tracer: Tracer | NullTracer = NULL_TRACER
     _busy_until: float = 0.0
-    #: accumulated GPU service time (for utilization accounting)
-    busy_time_s: float = 0.0
+    #: busy-interval accounting (clamped utilization, cluster gauges)
+    busy: BusyTracker = field(default_factory=BusyTracker)
     completed: list[FrameRecord] = field(default_factory=list)
 
     def submit(self, record: FrameRecord, path: Path) -> None:
@@ -67,7 +107,7 @@ class EdgeServer:
         start = max(self.simulator.now, self._busy_until)
         finish = start + service
         self._busy_until = finish
-        self.busy_time_s += service
+        self.busy.add(start, finish)
         record.service_started_at = start
         record.compute_done_at = finish
         record.completed_at = finish + self.result_return_s
@@ -108,11 +148,22 @@ class EdgeServer:
     def utilization_busy_until(self) -> float:
         return self._busy_until
 
+    @property
+    def busy_time_s(self) -> float:
+        """Accumulated GPU service time (unclamped total)."""
+        return self.busy.total_s
+
     def utilization(self, duration_s: float) -> float:
-        """Fraction of ``duration_s`` the GPU spent serving frames."""
+        """Fraction of ``duration_s`` the GPU spent serving frames.
+
+        Busy time is clamped to the measured window: a service interval
+        whose tail extends past the run horizon only contributes the
+        part inside ``[0, duration_s]``, so the ratio never exceeds 1.0
+        by construction (the ``min`` stays as a float-safety belt).
+        """
         if duration_s <= 0:
             raise ValueError("duration must be positive")
-        return min(1.0, self.busy_time_s / duration_s)
+        return min(1.0, self.busy.within(duration_s) / duration_s)
 
 
 @dataclass

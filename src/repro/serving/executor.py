@@ -67,36 +67,43 @@ class WindowReport:
 
 
 def _window_costs(
-    requests: list[ServingRequest], batch_efficiency: float
+    requests: list[ServingRequest],
+    batch_efficiency: float,
+    blocks_for=None,
 ) -> tuple[float, float, int]:
     """(merged cost, unmerged cost, merge count) for one window.
 
     The merged cost walks a prefix trie keyed by the block-id sequence;
-    the unmerged cost batches per path only.
+    the unmerged cost batches per path only.  ``blocks_for`` overrides
+    the block sequence considered per request (default: the full path)
+    — the cluster executor passes per-node *segments* so fusion happens
+    over exactly the blocks co-placed on one node.
     """
+    if blocks_for is None:
+        blocks_for = lambda request: request.path.blocks  # noqa: E731
 
     def batch_cost(block_compute_s: float, n: int) -> float:
         return block_compute_s * (1.0 + (n - 1) * batch_efficiency)
 
     # trie node -> (block compute, request count, distinct path count)
     trie: dict[tuple[str, ...], list] = {}
-    by_path: dict[str, tuple[Path, int]] = {}
+    by_path: dict[str, tuple[tuple, int]] = {}
     for request in requests:
-        path = request.path
+        blocks = blocks_for(request)
         prefix: tuple[str, ...] = ()
-        for block in path.blocks:
+        for block in blocks:
             prefix = prefix + (block.block_id,)
             node = trie.setdefault(prefix, [block.compute_time_s, 0, set()])
             node[1] += 1
-            node[2].add(path.path_id)
-        known = by_path.get(path.path_id)
-        by_path[path.path_id] = (path, (known[1] if known else 0) + 1)
+            node[2].add(request.path.path_id)
+        known = by_path.get(request.path.path_id)
+        by_path[request.path.path_id] = (blocks, (known[1] if known else 0) + 1)
 
     merged = sum(batch_cost(c, n) for c, n, _paths in trie.values())
     unmerged = sum(
         batch_cost(block.compute_time_s, n)
-        for path, n in by_path.values()
-        for block in path.blocks
+        for blocks, n in by_path.values()
+        for block in blocks
     )
     merges = sum(1 for _c, _n, paths in trie.values() if len(paths) > 1)
     return merged, unmerged, merges

@@ -35,6 +35,11 @@ class DropReason(enum.Enum):
     QUEUE_FULL = "queue_full"
     #: its deadline expired (or became unreachable) before service
     DEADLINE = "deadline"
+    #: a remote segment dispatch failed on its node *and* on the retry
+    #: target (cluster serving; see :mod:`repro.cluster.executor`)
+    REMOTE_ERROR = "remote_error"
+    #: a cross-node activation transfer stalled past its timeout twice
+    TRANSFER_TIMEOUT = "transfer_timeout"
 
 
 @dataclass
@@ -56,6 +61,11 @@ class ServingRequest:
     #: simulated GPU time attributed to this request's window share
     compute_time_s: float = 0.0
     drop_reason: DropReason | None = None
+    #: when the last segment finished (cluster runs; NaN on one node,
+    #: where every request in a window finishes with the window)
+    service_done_at: float = float("nan")
+    #: per-hop journey through the cluster fabric (None on one node)
+    hops: list | None = None
 
     @property
     def dropped(self) -> bool:

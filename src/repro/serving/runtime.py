@@ -152,10 +152,18 @@ class ServingRuntime:
     #: optional observability session — request-lifecycle spans on the
     #: DES clock, registry counters/histograms, and sampled gauges
     obs: ObsSession | None = None
+    #: optional multi-node fabric (:class:`repro.cluster.executor.
+    #: ClusterDeployment`): when set, windows execute across the
+    #: deployment's placed segments instead of the local worker pool
+    cluster: object | None = None
 
     # run state (rebuilt by every run() call)
     simulator: Simulator = field(init=False, repr=False)
-    executor: BatchExecutor = field(init=False, repr=False)
+    executor: object = field(init=False, repr=False)
+    #: every request record of the last run (completed and dropped)
+    last_requests: list[ServingRequest] = field(
+        init=False, repr=False, default_factory=list
+    )
 
     @classmethod
     def from_problem(
@@ -209,14 +217,29 @@ class ServingRuntime:
             tracer = obs.virtual
         cell = LteCell(slice_manager=self.slice_manager)
         cell.reset()
-        executor = self.executor = BatchExecutor(
-            num_workers=cfg.num_workers,
-            batch_efficiency=cfg.batch_efficiency,
-            prefix_cache=cfg.prefix_cache,
-            num_procs=cfg.num_procs,
-            shard_overhead_s=cfg.shard_overhead_s,
-            tracer=tracer,
-        )
+        record_hop_spans = None
+        if self.cluster is not None:
+            # lazy import: repro.cluster imports from repro.serving
+            from repro.cluster.executor import ClusterExecutor
+            from repro.cluster.qos import record_hop_spans
+
+            self.cluster.reset()
+            executor = self.executor = ClusterExecutor(
+                deployment=self.cluster,
+                batch_efficiency=cfg.batch_efficiency,
+                prefix_cache=cfg.prefix_cache,
+                seed=cfg.seed,
+                tracer=tracer,
+            )
+        else:
+            executor = self.executor = BatchExecutor(
+                num_workers=cfg.num_workers,
+                batch_efficiency=cfg.batch_efficiency,
+                prefix_cache=cfg.prefix_cache,
+                num_procs=cfg.num_procs,
+                shard_overhead_s=cfg.shard_overhead_s,
+                tracer=tracer,
+            )
         # The ticket grants z_τ·λ_τ requests/s; devices offer
         # λ_τ·load_factor.  The bucket meters the granted *rate* against
         # the offered stream, so overload sheds at the gate instead of
@@ -333,13 +356,31 @@ class ServingRuntime:
 
                 def complete(batch=window, at=completed_at) -> None:
                     for request in batch:
-                        request.completed_at = at
+                        if request.dropped:
+                            # lost mid-execution (cluster: remote_error
+                            # or transfer_timeout); never completes
+                            continue
+                        done = request.service_done_at
+                        # cluster segments finish per task; single-node
+                        # windows finish together (done is NaN there)
+                        request.completed_at = (
+                            done + cfg.result_return_s if done == done else at
+                        )
                     state["outstanding"] -= len(batch)
                     if tracer.enabled:
                         for request in batch:
+                            if not request.completed:
+                                continue
                             _record_request_spans(
                                 tracer, request, cfg.result_return_s
                             )
+                            if request.hops and record_hop_spans is not None:
+                                record_hop_spans(
+                                    tracer,
+                                    request.task_id,
+                                    request.request_id,
+                                    request.hops,
+                                )
 
                 sim.schedule_at(completed_at, complete)
             state["work_end"] = now
@@ -366,6 +407,8 @@ class ServingRuntime:
             sampler.add_probe(
                 "executor.prefix_merges", lambda: executor.prefix_merges
             )
+            if self.cluster is not None:
+                executor.qos.add_probes(sampler, lambda: sim.now)
             sampler.attach(
                 sim,
                 while_fn=lambda: (
@@ -377,6 +420,7 @@ class ServingRuntime:
         # configured horizon (Simulator.run_until works on an empty queue)
         sim.run_until(cfg.duration_s)
 
+        self.last_requests = records
         by_task: dict[int, list[ServingRequest]] = {
             task.task_id: [] for task in self.problem.tasks
         }

@@ -1,0 +1,314 @@
+"""Cluster fabric: nodes, placement, cluster serving, fault injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterDeployment,
+    ClusterNode,
+    ClusterOrchestrator,
+    ClusterTopology,
+    LinkSpec,
+    NodeRegistry,
+    NodeSpec,
+    default_topology,
+)
+from repro.core.heuristic import OffloaDNNSolver
+from repro.obs import ObsSession, jsonl_lines
+from repro.serving import ServingConfig, ServingRuntime
+from repro.serving.queueing import DropReason
+from repro.workloads.smallscale import serving_small_scale_problem
+
+
+def _runtime(duration_s: float = 2.0, seed: int = 0) -> ServingRuntime:
+    problem = serving_small_scale_problem(5, seed=seed)
+    config = ServingConfig(duration_s=duration_s, seed=seed)
+    return ServingRuntime.from_problem(
+        problem, config, solver=OffloaDNNSolver(slice_margin_rbs=2)
+    )
+
+
+def _deploy(runtime: ServingRuntime, topology: ClusterTopology, **knobs):
+    return ClusterDeployment.place(
+        runtime.problem, runtime.solution, runtime.tickets, topology, **knobs
+    )
+
+
+# -- node + registry -------------------------------------------------------
+
+
+def test_node_spec_validation():
+    with pytest.raises(ValueError):
+        NodeSpec(node_id="")
+    with pytest.raises(ValueError):
+        NodeSpec(node_id="n", tier="fog")
+    with pytest.raises(ValueError):
+        NodeSpec(node_id="n", cpu_scale=0.0)
+    with pytest.raises(ValueError):
+        NodeSpec(node_id="n", failure_rate=1.0)
+
+
+def test_cluster_node_execute_and_clamped_utilization():
+    node = ClusterNode(spec=NodeSpec(node_id="n", num_workers=2))
+    # both workers busy [0, 2]; a third job queues behind worker 0
+    assert node.execute(2.0, 0.0) == (0.0, 2.0)
+    assert node.execute(2.0, 0.0) == (0.0, 2.0)
+    assert node.execute(1.0, 0.0) == (2.0, 3.0)
+    assert node.busy_workers(1.0) == 2
+    assert node.busy_until == 3.0
+    # horizon at t=1: both workers saturated; tails never push past 1.0
+    assert node.utilization(1.0) == 1.0
+    # horizon at t=4: 5 busy worker-seconds over 8 available
+    assert node.utilization(4.0) == pytest.approx(5.0 / 8.0)
+    node.reset()
+    assert node.busy_time_s == 0.0 and node.segments_executed == 0
+
+
+def test_cluster_node_scaled_cost():
+    fast = ClusterNode(spec=NodeSpec(node_id="f", cpu_scale=4.0))
+    assert fast.scaled_cost(1.0) == pytest.approx(0.25)
+
+
+def test_topology_save_load_roundtrip(tmp_path):
+    topology = default_topology(2, cloud=True, fp16_activations=True)
+    path = tmp_path / "nodes.json"
+    topology.save(path)
+    loaded = ClusterTopology.load(path)
+    assert loaded == topology
+    assert any(spec.tier == "cloud" for spec in loaded.nodes)
+
+
+def test_topology_rejects_duplicates_and_empty():
+    with pytest.raises(ValueError):
+        ClusterTopology(nodes=())
+    spec = NodeSpec(node_id="n")
+    with pytest.raises(ValueError):
+        ClusterTopology(nodes=(spec, spec))
+
+
+def test_registry_eligibility_and_least_loaded():
+    registry = NodeRegistry()
+    registry.register(NodeSpec(node_id="a", resident_blocks=frozenset({"b1", "b2"})))
+    registry.register(NodeSpec(node_id="b", resident_blocks=frozenset({"b1"})))
+    registry.register(NodeSpec(node_id="c"))  # hosts everything
+    eligible = [n.node_id for n in registry.eligible_nodes(["b1", "b2"])]
+    assert eligible == ["a", "c"]
+    registry.node("a").execute(1.0, 0.0)
+    assert registry.least_loaded(["b1", "b2"]).node_id == "c"
+    assert registry.least_loaded(["b1", "b2"], exclude="c").node_id == "a"
+    # "c" advertises the full repository, so it hosts even "b9";
+    # excluding it leaves only the explicit resident sets, which don't
+    assert registry.least_loaded(["b9"]).node_id == "c"
+    assert registry.least_loaded(["b9"], exclude="c") is None
+
+
+def test_validate_residency_rejects_unknown_blocks():
+    runtime = _runtime()
+    topology = ClusterTopology(
+        nodes=(NodeSpec(node_id="n", resident_blocks=frozenset({"no-such"})),)
+    )
+    with pytest.raises(ValueError, match="unknown blocks"):
+        _deploy(runtime, topology)
+
+
+# -- placement -------------------------------------------------------------
+
+
+def test_placement_covers_admitted_tasks_and_is_deterministic():
+    runtime = _runtime()
+    topology = default_topology(3)
+    first = _deploy(runtime, topology)
+    second = _deploy(runtime, topology)
+    assert first.plan.describe() == second.plan.describe()
+    admitted = {
+        tid for tid, ticket in runtime.tickets.items() if ticket.admitted
+    }
+    assert set(first.plan.segments_by_task) == admitted
+    # segments partition each path's block sequence in order
+    for task_id, segments in first.plan.segments_by_task.items():
+        path = runtime.solution.assignment(
+            next(t for t in runtime.problem.tasks if t.task_id == task_id)
+        ).path
+        flattened = tuple(b for seg in segments for b in seg.blocks)
+        assert flattened == path.blocks
+        assert segments[-1].egress_bits == 0.0
+
+
+def test_placement_single_node_never_splits():
+    runtime = _runtime()
+    deployment = _deploy(runtime, default_topology(1))
+    assert deployment.plan.split_tasks == 0
+    assert deployment.plan.nodes_used() == {"edge0"}
+
+
+def test_orchestrator_max_segments_one_disables_splits():
+    runtime = _runtime()
+    registry = NodeRegistry.from_topology(default_topology(3))
+    orchestrator = ClusterOrchestrator(registry=registry, max_segments=1)
+    plan = orchestrator.place(runtime.problem, runtime.solution, runtime.tickets)
+    assert plan.split_tasks == 0
+    assert len(plan.nodes_used()) > 1  # still load-balances whole paths
+
+
+# -- cluster serving through the runtime -----------------------------------
+
+
+def test_one_node_cluster_matches_batch_executor_exactly():
+    runtime = _runtime()
+    baseline = runtime.run()
+    runtime.cluster = _deploy(runtime, default_topology(1))
+    clustered = runtime.run()
+    assert clustered.completed == baseline.completed
+    for task_id, base_task in baseline.tasks.items():
+        clu = clustered.tasks[task_id]
+        assert clu.completed == base_task.completed
+        assert clu.latency.p50_s == pytest.approx(base_task.latency.p50_s, abs=0)
+        assert clu.latency.p95_s == pytest.approx(base_task.latency.p95_s, abs=0)
+
+
+def test_multi_node_serves_same_admitted_set_as_single_node():
+    runtime = _runtime()
+    baseline = runtime.run()
+    served_single = {
+        r.request_id for r in runtime.last_requests if r.completed
+    }
+    runtime.cluster = _deploy(runtime, default_topology(3))
+    clustered = runtime.run()
+    served_cluster = {
+        r.request_id for r in runtime.last_requests if r.completed
+    }
+    assert served_cluster == served_single
+    assert clustered.offered == baseline.offered
+
+
+def test_three_node_trace_is_byte_identical_across_runs():
+    lines: list[list[str]] = []
+    for _ in range(2):
+        runtime = _runtime()
+        runtime.cluster = _deploy(runtime, default_topology(3))
+        obs = ObsSession()
+        runtime.obs = obs
+        runtime.run()
+        lines.append(jsonl_lines([obs.virtual]))
+    assert lines[0] == lines[1]
+    assert any('"hop.transfer"' in line for line in lines[0])
+    assert any('"hop.exec"' in line for line in lines[0])
+
+
+def test_cluster_run_reports_qos_hops_and_streamed_bytes():
+    runtime = _runtime()
+    runtime.cluster = _deploy(runtime, default_topology(3))
+    metrics = runtime.run()
+    qos = runtime.executor.qos
+    assert metrics.completed > 0
+    assert qos.hop_counts.get("exec", 0) > 0
+    if runtime.cluster.plan.split_tasks:
+        assert qos.hop_counts.get("transfer", 0) > 0
+        assert qos.bytes_streamed > 0
+    for row in qos.node_rows(metrics.duration_s):
+        util_pct = row[-1]
+        assert 0.0 <= util_pct <= 100.0
+
+
+# -- fault injection: bounded retry and the two drop reasons ---------------
+
+
+def test_dispatch_failure_retries_on_second_node_without_drops():
+    runtime = _runtime()
+    topology = ClusterTopology(
+        nodes=(
+            NodeSpec(node_id="flaky", failure_rate=0.5),
+            NodeSpec(node_id="solid"),
+        ),
+        default_link=LinkSpec(src="*", dst="*"),
+    )
+    baseline = runtime.run()
+    runtime.cluster = _deploy(runtime, topology)
+    metrics = runtime.run()
+    registry = runtime.cluster.registry
+    assert registry.node("flaky").dispatch_failures > 0
+    # the retry target never fails, so every request still completes
+    assert metrics.completed == baseline.completed
+    total_drops = sum(
+        t.drops[DropReason.REMOTE_ERROR] + t.drops[DropReason.TRANSFER_TIMEOUT]
+        for t in metrics.tasks.values()
+    )
+    assert total_drops == 0
+
+
+def test_remote_error_drops_when_retry_also_fails():
+    runtime = _runtime()
+    topology = ClusterTopology(
+        nodes=(
+            NodeSpec(node_id="a", failure_rate=0.9),
+            NodeSpec(node_id="b", failure_rate=0.9),
+        ),
+        default_link=LinkSpec(src="*", dst="*"),
+    )
+    runtime.cluster = _deploy(runtime, topology)
+    metrics = runtime.run()
+    remote = sum(
+        t.drops[DropReason.REMOTE_ERROR] for t in metrics.tasks.values()
+    )
+    assert remote > 0
+    # dropped requests never complete and never linger as outstanding
+    assert metrics.completed + remote + sum(
+        t.drops[DropReason.ADMISSION]
+        + t.drops[DropReason.QUEUE_FULL]
+        + t.drops[DropReason.DEADLINE]
+        + t.drops[DropReason.TRANSFER_TIMEOUT]
+        for t in metrics.tasks.values()
+    ) == metrics.offered
+
+
+def test_transfer_timeout_drops_when_link_keeps_stalling():
+    runtime = _runtime()
+    topology = ClusterTopology(
+        nodes=(NodeSpec(node_id="a"), NodeSpec(node_id="b")),
+        default_link=LinkSpec(
+            src="*", dst="*", stall_rate=0.9, stall_factor=1000.0
+        ),
+    )
+    runtime.cluster = _deploy(runtime, topology, transfer_timeout_s=0.01)
+    assert runtime.cluster.plan.split_tasks > 0  # transfers do happen
+    metrics = runtime.run()
+    timeouts = sum(
+        t.drops[DropReason.TRANSFER_TIMEOUT] for t in metrics.tasks.values()
+    )
+    assert timeouts > 0
+    # the QoS monitor saw the sender-side retries
+    assert runtime.executor.qos.hop_counts.get("retry", 0) > 0
+
+
+def test_single_node_runtime_unaffected_by_new_fields():
+    """Non-cluster runs keep NaN service_done_at and no hops."""
+    runtime = _runtime(duration_s=1.0)
+    metrics = runtime.run()
+    assert metrics.completed > 0
+    for row in metrics.summary_rows():
+        assert row[-1] == 0  # net-drop column exists and is zero
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def test_cli_serve_cluster(capsys):
+    from repro.cli import main
+
+    assert main(["serve-cluster", "2", "--duration", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "cluster: 2 nodes" in out
+    assert "edge0" in out and "edge1" in out
+
+
+def test_cli_serve_sim_cluster_topology_file(tmp_path, capsys):
+    from repro.cli import main
+
+    nodes = tmp_path / "nodes.json"
+    default_topology(2, cloud=True).save(nodes)
+    assert main(["serve-sim", "--cluster", str(nodes), "--duration", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "cluster: 3 nodes" in out
+    assert "cloud0" in out

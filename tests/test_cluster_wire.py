@@ -1,0 +1,186 @@
+"""Wire-protocol properties: round-trips, error paths, TCP loopback."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import wire
+from repro.cluster.stream import send_tensor, serve_tensors
+from repro.cluster.wire import (
+    WIRE_VERSION,
+    TruncatedFrameError,
+    VersionMismatchError,
+    WireError,
+    decode_frame,
+    encode_frame,
+    frame_nbytes,
+    header_nbytes,
+)
+
+DTYPES = st.sampled_from(
+    [
+        np.dtype("float16"),
+        np.dtype("float32"),
+        np.dtype("float64"),
+        np.dtype("int8"),
+        np.dtype("int16"),
+        np.dtype("int32"),
+        np.dtype("int64"),
+        np.dtype("uint8"),
+        np.dtype("uint32"),
+        np.dtype("bool"),
+    ]
+)
+SHAPES = st.lists(st.integers(min_value=0, max_value=5), min_size=0, max_size=4).map(
+    tuple
+)
+
+
+def _array(dtype: np.dtype, shape: tuple[int, ...], seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    if dtype.kind == "f":
+        return rng.normal(scale=10.0, size=shape).astype(dtype)
+    if dtype.kind == "b":
+        return rng.integers(0, 2, size=shape).astype(dtype)
+    info = np.iinfo(dtype)
+    # stay well inside the range so int64 sampling doesn't overflow
+    lo, hi = max(info.min, -(2**31)), min(info.max, 2**31 - 1)
+    return rng.integers(lo, hi, size=shape, endpoint=True).astype(dtype)
+
+
+@given(dtype=DTYPES, shape=SHAPES, seed=st.integers(0, 2**16))
+@settings(max_examples=120, deadline=None)
+def test_roundtrip_exact(dtype, shape, seed):
+    array = _array(dtype, shape, seed)
+    frame = encode_frame(array)
+    decoded, consumed = decode_frame(frame)
+    assert consumed == len(frame)
+    assert decoded.dtype == array.dtype
+    assert decoded.shape == array.shape
+    np.testing.assert_array_equal(decoded, array)
+    assert len(frame) == frame_nbytes(array.shape, array.dtype.itemsize)
+
+
+@given(dtype=DTYPES, shape=SHAPES, seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_noncontiguous(dtype, shape, seed):
+    """Strided views (transposes, slices) encode like their copies."""
+    array = _array(dtype, shape, seed)
+    views = [array.T]
+    if array.ndim >= 1 and array.shape[0] > 1:
+        views.append(array[::-1])
+        views.append(array[::2])
+    for view in views:
+        decoded, _ = decode_frame(encode_frame(view))
+        np.testing.assert_array_equal(decoded, view)
+
+
+@given(
+    shape=st.lists(st.integers(1, 5), min_size=1, max_size=3).map(tuple),
+    seed=st.integers(0, 2**16),
+    dtype=st.sampled_from([np.dtype("float32"), np.dtype("float64")]),
+)
+@settings(max_examples=60, deadline=None)
+def test_fp16_roundtrip_tolerance(shape, seed, dtype):
+    array = _array(dtype, shape, seed)
+    frame = encode_frame(array, downcast_fp16=True)
+    assert len(frame) == frame_nbytes(array.shape, array.dtype.itemsize, True)
+    decoded, _ = decode_frame(frame)
+    assert decoded.dtype == array.dtype  # logical dtype restored
+    # fp16 relative error bound for values inside fp16 range
+    np.testing.assert_allclose(decoded, array, rtol=2**-10, atol=2**-23)
+
+
+def test_fp16_ignored_for_integers():
+    array = np.arange(12, dtype=np.int32).reshape(3, 4)
+    assert encode_frame(array, downcast_fp16=True) == encode_frame(array)
+
+
+def test_determinism_byte_identical():
+    array = np.linspace(-3, 3, 24, dtype=np.float32).reshape(2, 3, 4)
+    assert encode_frame(array) == encode_frame(array.copy())
+
+
+def test_concatenated_frames_decode_sequentially():
+    a = np.arange(6, dtype=np.float32).reshape(2, 3)
+    b = np.array([True, False])
+    buffer = encode_frame(a) + encode_frame(b)
+    first, consumed = decode_frame(buffer)
+    second, consumed2 = decode_frame(buffer[consumed:])
+    np.testing.assert_array_equal(first, a)
+    np.testing.assert_array_equal(second, b)
+    assert consumed + consumed2 == len(buffer)
+
+
+@given(seed=st.integers(0, 2**16), cut=st.floats(0.0, 0.999))
+@settings(max_examples=60, deadline=None)
+def test_truncated_frame_raises_at_any_cut(seed, cut):
+    array = _array(np.dtype("float32"), (3, 4), seed)
+    frame = encode_frame(array)
+    with pytest.raises(TruncatedFrameError):
+        decode_frame(frame[: int(len(frame) * cut)])
+
+
+def test_version_mismatch():
+    frame = bytearray(encode_frame(np.zeros(2, dtype=np.float32)))
+    frame[2] = WIRE_VERSION + 1
+    with pytest.raises(VersionMismatchError):
+        decode_frame(bytes(frame))
+
+
+def test_bad_magic_rejected():
+    frame = bytearray(encode_frame(np.zeros(2, dtype=np.float32)))
+    frame[0:2] = b"XX"
+    with pytest.raises(WireError):
+        decode_frame(bytes(frame))
+
+
+def test_inconsistent_payload_length_rejected():
+    array = np.zeros((2, 2), dtype=np.float32)
+    frame = bytearray(encode_frame(array))
+    # corrupt the announced payload length (last 8 header bytes)
+    offset = header_nbytes(array.ndim) - 8
+    frame[offset : offset + 8] = struct.pack("<Q", 7)
+    with pytest.raises(WireError):
+        decode_frame(bytes(frame))
+
+
+def test_header_nbytes_validates_ndim():
+    with pytest.raises(WireError):
+        header_nbytes(-1)
+    with pytest.raises(WireError):
+        header_nbytes(wire._MAX_DIMS + 1)
+
+
+def test_decoded_tensor_is_decoupled_from_buffer():
+    array = np.ones(4, dtype=np.float32)
+    frame = bytearray(encode_frame(array))
+    decoded, _ = decode_frame(frame)
+    frame[-4:] = b"\x00\x00\x00\x00"  # clobber the source buffer
+    np.testing.assert_array_equal(decoded, array)
+
+
+def test_tcp_loopback_roundtrip():
+    """The asyncio transport speaks the same frames end to end."""
+
+    async def run() -> None:
+        server = await serve_tensors(lambda t: t * 2.0, fp16=False)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            sent = np.linspace(0, 1, 12, dtype=np.float32).reshape(3, 4)
+            reply = await send_tensor(sent, "127.0.0.1", port)
+            np.testing.assert_array_equal(reply, sent * 2.0)
+            # a second request on a fresh connection also works
+            reply2 = await send_tensor(sent + 1.0, "127.0.0.1", port)
+            np.testing.assert_array_equal(reply2, (sent + 1.0) * 2.0)
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    asyncio.run(run())

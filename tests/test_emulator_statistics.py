@@ -64,8 +64,41 @@ class TestServerUtilization:
     def test_utilization_capped_at_one(self):
         sim = Simulator()
         server = EdgeServer(simulator=sim)
-        server.busy_time_s = 10.0
+        server.busy.add(0.0, 10.0)
         assert server.utilization(5.0) == 1.0
+
+    def test_utilization_clamps_service_past_horizon(self):
+        """Regression: a service tail past the run horizon used to push
+        utilization above 1.0; busy time is now clamped to the window."""
+        from repro.core.task import QualityLevel
+        from tests.conftest import make_block, make_path, make_task
+
+        sim = Simulator()
+        server = EdgeServer(simulator=sim, compute_jitter=0.0, result_return_s=0.0)
+        task = make_task(1, quality=QualityLevel("q", 1000.0))
+        path = make_path(task, "p", (make_block("b", compute_time_s=2.0),))
+        for i in range(3):  # 6 s of service submitted at t=0
+            server.submit(FrameRecord(task_id=1, frame_id=i, created_at=0.0), path)
+        sim.run()
+        assert server.busy_time_s == pytest.approx(6.0)
+        # a 1 s horizon sees exactly 1 s of busy GPU, not 6 s
+        assert server.utilization(1.0) == pytest.approx(1.0)
+        assert server.busy.within(1.0) == pytest.approx(1.0)
+        assert server.utilization(8.0) == pytest.approx(0.75)
+
+    def test_busy_tracker_windows_and_gaps(self):
+        from repro.emulator.nodes import BusyTracker
+
+        tracker = BusyTracker()
+        tracker.add(0.0, 1.0)
+        tracker.add(1.0, 2.0)  # contiguous: coalesces
+        tracker.add(5.0, 7.0)
+        assert len(tracker.periods) == 2
+        assert tracker.total_s == pytest.approx(4.0)
+        assert tracker.within(0.5) == pytest.approx(0.5)
+        assert tracker.within(3.0) == pytest.approx(2.0)
+        assert tracker.within(6.0) == pytest.approx(3.0)
+        assert tracker.within(100.0) == pytest.approx(4.0)
 
     def test_invalid_duration(self):
         server = EdgeServer(simulator=Simulator())
