@@ -94,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--input-size", type=int, default=32)
     profile.add_argument("--classes", type=int, default=60)
     profile.add_argument("--repeats", type=int, default=5)
+    profile.add_argument(
+        "--compiled", action="store_true",
+        help="time fused execution plans instead of eager forwards",
+    )
+    profile.add_argument(
+        "--int8", action="store_true",
+        help="time the int8-quantized compiled plan (implies --compiled)",
+    )
 
     reproduce = sub.add_parser("reproduce", help="regenerate a paper artifact")
     reproduce.add_argument(
@@ -126,6 +134,11 @@ def build_parser() -> argparse.ArgumentParser:
         parser.add_argument(
             "--no-prefix-cache", action="store_true",
             help="disable shared-block prefix fusion in the executor",
+        )
+        parser.add_argument(
+            "--int8-activations", action="store_true",
+            help="ship cluster-hop activations as int8+scale wire frames "
+            "(4x fewer payload bytes than fp32; multi-node only)",
         )
         parser.add_argument("--poisson", action="store_true", help="Poisson arrivals")
         parser.add_argument("--seed", type=int, default=0)
@@ -327,12 +340,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         model = build_mobilenetv2(
             num_classes=args.classes, input_size=args.input_size, width_multiplier=1.0
         )
-    profile = profile_model(model, repeats=args.repeats)
+    quantize = "int8" if args.int8 else None
+    profile = profile_model(
+        model, repeats=args.repeats, compiled=args.compiled, quantize=quantize
+    )
     rows = [
         [b.name, b.compute_time_s * 1e3, b.params, b.flops / 1e6, b.memory_bytes / 1e6]
         for b in profile.blocks
     ]
-    print(f"{args.arch} @ {args.input_size}px, {args.classes} classes")
+    mode = " (int8 plan)" if args.int8 else (" (compiled)" if args.compiled else "")
+    print(f"{args.arch} @ {args.input_size}px, {args.classes} classes{mode}")
     print(
         format_table(
             ["block", "time ms", "params", "MFLOPs", "mem MB"], rows, precision=2
@@ -449,9 +466,13 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     runtime.obs = obs
     topology = None
     if cluster_spec is not None:
+        import dataclasses
+
         from repro.cluster import ClusterDeployment
 
         topology = _load_topology(cluster_spec)
+        if args.int8_activations:
+            topology = dataclasses.replace(topology, int8_activations=True)
         runtime.cluster = ClusterDeployment.place(
             problem, runtime.solution, runtime.tickets, topology
         )

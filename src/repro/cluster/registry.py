@@ -31,10 +31,16 @@ class ClusterTopology:
     links: tuple[LinkSpec, ...] = ()
     default_link: LinkSpec = LinkSpec(src="*", dst="*")
     fp16_activations: bool = False
+    #: ship activations as int8 + scale frames (exclusive with fp16)
+    int8_activations: bool = False
 
     def __post_init__(self) -> None:
         if not self.nodes:
             raise ValueError("a topology needs at least one node")
+        if self.fp16_activations and self.int8_activations:
+            raise ValueError(
+                "fp16_activations and int8_activations are mutually exclusive"
+            )
         ids = [spec.node_id for spec in self.nodes]
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate node ids in topology: {ids}")
@@ -85,6 +91,7 @@ class ClusterTopology:
             links=links,
             default_link=default_link,
             fp16_activations=bool(data.get("fp16_activations", False)),
+            int8_activations=bool(data.get("int8_activations", False)),
         )
 
     def to_dict(self) -> dict:
@@ -123,6 +130,7 @@ class ClusterTopology:
                 "stall_factor": self.default_link.stall_factor,
             },
             "fp16_activations": self.fp16_activations,
+            "int8_activations": self.int8_activations,
         }
 
     def save(self, path: str | pathlib.Path) -> None:
@@ -137,6 +145,7 @@ def default_topology(
     bandwidth_bps: float = 1e9,
     latency_s: float = 0.0005,
     fp16_activations: bool = False,
+    int8_activations: bool = False,
 ) -> ClusterTopology:
     """A homogeneous ``num_nodes``-edge mesh, optionally plus a cloud tier.
 
@@ -180,6 +189,7 @@ def default_topology(
             src="*", dst="*", bandwidth_bps=bandwidth_bps, latency_s=latency_s
         ),
         fp16_activations=fp16_activations,
+        int8_activations=int8_activations,
     )
 
 
@@ -197,6 +207,7 @@ class NodeRegistry:
             registry.register(spec)
         registry.router.default_spec = topology.default_link
         registry.router.fp16_activations = topology.fp16_activations
+        registry.router.int8_activations = topology.int8_activations
         for link in topology.links:
             registry.router.add_link(link)
         return registry

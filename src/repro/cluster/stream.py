@@ -124,6 +124,16 @@ class StreamRouter:
     default_spec: LinkSpec | None = None
     #: ship activations as fp16 frames (halves payload bytes)
     fp16_activations: bool = False
+    #: ship activations as int8 + scale frames (quarters payload bytes;
+    #: exclusive with ``fp16_activations``) — int8 tensors produced by
+    #: the quantized engine travel losslessly on this setting
+    int8_activations: bool = False
+
+    def __post_init__(self) -> None:
+        if self.fp16_activations and self.int8_activations:
+            raise ValueError(
+                "fp16_activations and int8_activations are mutually exclusive"
+            )
 
     def add_link(self, spec: LinkSpec) -> SimulatedLink:
         link = SimulatedLink(spec=spec)
@@ -166,22 +176,38 @@ class StreamRouter:
         if src == dst:
             return now, False, 0
         payload_bytes = int(np.ceil(payload_bits / 8.0))
-        if self.fp16_activations:
+        if self.int8_activations:
+            payload_bytes = (payload_bytes + 3) // 4
+        elif self.fp16_activations:
             payload_bytes = (payload_bytes + 1) // 2
-        nbytes = wire.header_nbytes(ndim=4) + payload_bytes
+        nbytes = (
+            wire.header_nbytes(ndim=4, quantize_int8=self.int8_activations)
+            + payload_bytes
+        )
         delivery, stalled = self.link(src, dst).transfer(nbytes, now, rng)
         return delivery, stalled, nbytes
 
     def send_tensor(
-        self, src: str, dst: str, tensor: np.ndarray, now: float
+        self,
+        src: str,
+        dst: str,
+        tensor: np.ndarray,
+        now: float,
+        scale: float | None = None,
     ) -> tuple[float, bytes]:
         """Encode a real tensor and time its simulated transfer.
 
         Returns ``(delivery_time, frame)`` — the frame is the actual
         wire encoding, so tests can assert byte-level determinism on
-        what the link carried.
+        what the link carried.  ``scale`` is the producing plan's
+        activation scale for int8 tensors (rides in the frame header).
         """
-        frame = wire.encode_frame(tensor, downcast_fp16=self.fp16_activations)
+        frame = wire.encode_frame(
+            tensor,
+            downcast_fp16=self.fp16_activations,
+            quantize_int8=self.int8_activations,
+            scale=scale,
+        )
         if src == dst:
             return now, frame
         delivery, _stalled = self.link(src, dst).transfer(len(frame), now)

@@ -430,6 +430,9 @@ class _ResidualStep(_Step):
         self.out_shape = out_shape
         self.label = f"residual+{activation}"
 
+    def sub_plans(self) -> list[list["_Step"]]:
+        return [self.body] + ([self.shortcut] if self.shortcut else [])
+
     def run(self, x: np.ndarray, scratch: _Scratch) -> np.ndarray:
         identity = x
         if self.shortcut is not None:
@@ -616,9 +619,10 @@ def _build_steps(
 def _iter_steps(steps: list[_Step]):
     for step in steps:
         yield step
-        if isinstance(step, _ResidualStep):
-            yield from _iter_steps(step.body)
-            yield from _iter_steps(step.shortcut or [])
+        sub = getattr(step, "sub_plans", None)
+        if sub is not None:
+            for plan in sub():
+                yield from _iter_steps(plan)
 
 
 class CompiledModule(Layer):
@@ -634,6 +638,9 @@ class CompiledModule(Layer):
     """
 
     kind = "compiled"
+    #: numeric format of the plan's compute steps ("int8" on the
+    #: quantized subclass) — cache keys in serving key on this
+    precision = "fp32"
 
     def __init__(self, source: Layer, input_shape: tuple[int, ...]) -> None:
         self.source = source
@@ -697,10 +704,12 @@ class CompiledModule(Layer):
             rows: list[str] = []
             for step in steps:
                 rows.append(prefix + step.label)
-                if isinstance(step, _ResidualStep):
-                    rows.extend(walk(step.body, prefix + "  body/"))
-                    if step.shortcut is not None:
-                        rows.extend(walk(step.shortcut, prefix + "  shortcut/"))
+                body = getattr(step, "body", None)
+                if body is not None:
+                    rows.extend(walk(body, prefix + "  body/"))
+                    shortcut = getattr(step, "shortcut", None)
+                    if shortcut is not None:
+                        rows.extend(walk(shortcut, prefix + "  shortcut/"))
             return rows
 
         return walk(self.steps, "")
@@ -712,13 +721,24 @@ class CompiledModule(Layer):
             step.release()
 
 
-def compile_module(module, input_shape: tuple[int, ...] | None = None) -> CompiledModule:
+def compile_module(
+    module,
+    input_shape: tuple[int, ...] | None = None,
+    quantize: str | None = None,
+    calibration: np.ndarray | None = None,
+) -> CompiledModule:
     """Compile a module tree (or a ``BlockwiseModel``) into a fused plan.
 
     ``input_shape`` is the per-sample shape, e.g. ``(3, 32, 32)``; it is
     optional for :class:`~repro.dnn.resnet.BlockwiseModel`, whose own
     ``input_shape`` is used.  The plan specializes on this shape (buffer
     sizes, fused layouts) but accepts any batch size.
+
+    ``quantize="int8"`` emits a
+    :class:`~repro.dnn.quantize.QuantizedModule` instead: int8 weights
+    with per-channel scales, calibrated activation scales (min/max over
+    ``calibration``, a seeded synthetic batch by default) and fused
+    requantization — same fp32 in/out contract.
     """
     source = module
     if not isinstance(module, Layer):
@@ -733,4 +753,12 @@ def compile_module(module, input_shape: tuple[int, ...] | None = None) -> Compil
             input_shape = tuple(module.input_shape)
     if input_shape is None:
         raise ValueError("input_shape is required to compile a Layer")
-    return CompiledModule(source, tuple(input_shape))
+    if quantize is None:
+        if calibration is not None:
+            raise ValueError("calibration is only meaningful with quantize")
+        return CompiledModule(source, tuple(input_shape))
+    if quantize != "int8":
+        raise ValueError(f"unsupported quantize mode: {quantize!r}")
+    from repro.dnn.quantize import QuantizedModule
+
+    return QuantizedModule(source, tuple(input_shape), calibration=calibration)

@@ -34,10 +34,13 @@ class BlockProfile:
     flops: int
     #: number of parameters
     params: int
-    #: bytes held by parameters
+    #: bytes held by parameters (dtype-aware: int8 plans count their
+    #: int8 weights + f32 scale/bias vectors, not the fp32 tensors)
     param_bytes: int
     #: bytes of the largest intermediate activation (batch size 1)
     activation_bytes: int
+    #: numeric format the block was profiled at ("fp32" or "int8")
+    precision: str = "fp32"
 
     @property
     def memory_bytes(self) -> int:
@@ -108,6 +111,7 @@ def profile_model(
     repeats: int = 5,
     warmup: int = 1,
     compiled: bool = False,
+    quantize: str | None = None,
     clock: Callable[[], float] = time.perf_counter,
 ) -> ModelProfile:
     """Profile each layer-block of ``model`` on a dummy tensor.
@@ -118,9 +122,18 @@ def profile_model(
     With ``compiled=True`` each block is compiled into a fused execution
     plan (:mod:`repro.dnn.compile`) and the plan's forward is timed —
     the cost the serving runtime sees when it opts into compiled blocks.
-    FLOPs/memory figures stay analytic (identical either way); the eager
-    block still propagates the activation so downstream shapes match.
+    FLOPs figures stay analytic (identical either way); the eager block
+    still propagates the activation so downstream shapes match.
+
+    ``quantize="int8"`` (implies ``compiled``) times the int8 plan and
+    reports the *dtype-aware* memory footprint: ``param_bytes`` are the
+    deployed int8 weights + f32 scale/bias vectors (4x smaller than
+    fp32), and ``activation_bytes`` count 1 byte per element for blocks
+    whose plan actually quantized (int8 activations dominate the
+    buffers).  Blocks with no quantizable prefix keep fp32 accounting.
     """
+    if quantize is not None:
+        compiled = True
     dummy = np.zeros((1, *model.input_shape), dtype=np.float32)
     profiles: list[BlockProfile] = []
     x = dummy
@@ -128,20 +141,29 @@ def profile_model(
     for name in BLOCK_NAMES:
         block = model.blocks[name]
         timed = block.forward
+        params = block.param_count()
+        param_bytes = params * BYTES_PER_PARAM
+        act_elem_bytes = BYTES_PER_PARAM
+        precision = "fp32"
         if compiled:
             from repro.dnn.compile import compile_module
 
-            timed = compile_module(block, shape).forward
+            plan = compile_module(block, shape, quantize=quantize)
+            timed = plan.forward
+            if quantize is not None and getattr(plan, "quantized_steps", 0) > 0:
+                param_bytes = plan.param_bytes()
+                act_elem_bytes = 1  # int8 activations
+                precision = plan.precision
         elapsed = time_forward(timed, x, repeats=repeats, warmup=warmup, clock=clock)
-        params = block.param_count()
         profiles.append(
             BlockProfile(
                 name=name,
                 compute_time_s=elapsed,
                 flops=block.flops(shape),
                 params=params,
-                param_bytes=params * BYTES_PER_PARAM,
-                activation_bytes=block.activation_size(shape) * BYTES_PER_PARAM,
+                param_bytes=param_bytes,
+                activation_bytes=block.activation_size(shape) * act_elem_bytes,
+                precision=precision,
             )
         )
         x = block(x)

@@ -67,6 +67,9 @@ class ProfiledConfig:
     config: BlockConfig
     groups: tuple[GroupCost, ...]
     accuracy: float
+    #: numeric format of the deployed blocks ("fp32" or "int8") — int8
+    #: variants carry int8-sized memory and their own measured c(s)
+    precision: str = "fp32"
 
     @property
     def total_compute_time_s(self) -> float:
@@ -112,6 +115,7 @@ def _profile_config(
     repeats: int,
     base_profile: ModelProfile,
     compiled: bool = False,
+    quantize: str | None = None,
 ) -> ProfiledConfig:
     model = _build_config_model(config, num_classes, input_size, width, seed)
     # the pruning accuracy drop is a function of the *full* model's
@@ -119,7 +123,9 @@ def _profile_config(
     full_model = build_resnet18(
         num_classes=num_classes, input_size=input_size, width=width, seed=seed
     )
-    profile: ModelProfile = profile_model(model, repeats=repeats, compiled=compiled)
+    profile: ModelProfile = profile_model(
+        model, repeats=repeats, compiled=compiled, quantize=quantize
+    )
     groups: list[GroupCost] = []
     for group_name, members in BLOCK_GROUPS:
         shared = _group_shared(config, members)
@@ -155,7 +161,16 @@ def _profile_config(
     accuracy = curve.accuracy_at(fine_tune_epochs)
     if config.pruned:
         accuracy = max(0.0, accuracy - pruned_accuracy_drop(config, full_model))
-    return ProfiledConfig(config=config, groups=tuple(groups), accuracy=accuracy)
+    if quantize == "int8":
+        from repro.dnn.quantize import INT8_ACCURACY_DROP
+
+        accuracy = max(0.0, accuracy - INT8_ACCURACY_DROP)
+    return ProfiledConfig(
+        config=config,
+        groups=tuple(groups),
+        accuracy=accuracy,
+        precision=quantize or "fp32",
+    )
 
 
 def profile_table_i(
@@ -167,6 +182,7 @@ def profile_table_i(
     repeats: int = 3,
     configs: dict[str, BlockConfig] | None = None,
     compiled: bool = False,
+    include_int8: bool = False,
 ) -> dict[str, ProfiledConfig]:
     """Profile every Table I configuration (the scenario cost basis).
 
@@ -174,13 +190,21 @@ def profile_table_i(
     forwards (see :func:`repro.dnn.profiler.profile_model`), producing
     the compute-cost catalog an engine-optimized deployment would feed
     to the DOT solver.
+
+    ``include_int8=True`` additionally registers an int8-quantized
+    variant of every configuration under ``"<name>-int8"`` — same
+    architecture, but profiled through the quantized engine, so it
+    carries its own measured ``c(s)``, an int8-sized memory footprint
+    (4x smaller weights) and the calibrated-quantization accuracy drop.
+    The DOT solver then prices quantization exactly like pruning: one
+    more point on the cost/accuracy frontier.
     """
     configs = configs or TABLE_I_CONFIGS
     base_model = build_resnet18(
         num_classes=num_classes, input_size=input_size, width=width, seed=seed
     )
     base_profile = profile_model(base_model, repeats=repeats, compiled=compiled)
-    return {
+    profiled = {
         name: _profile_config(
             cfg,
             num_classes,
@@ -194,6 +218,22 @@ def profile_table_i(
         )
         for name, cfg in configs.items()
     }
+    if include_int8:
+        base_int8 = profile_model(base_model, repeats=repeats, quantize="int8")
+        for name, cfg in configs.items():
+            profiled[f"{name}-int8"] = _profile_config(
+                cfg,
+                num_classes,
+                input_size,
+                width,
+                seed,
+                fine_tune_epochs,
+                repeats,
+                base_int8,
+                compiled=True,
+                quantize="int8",
+            )
+    return profiled
 
 
 def build_task_paths(
@@ -214,12 +254,17 @@ def build_task_paths(
     """
     paths: list[Path] = []
     for name, pc in profiled.items():
-        dnn_id = f"task{task.task_id}:{name}" if not _all_shared(pc) else "base"
+        # int8 variants deploy *different* shared blocks than fp32 ones
+        # (quantized weights), so their base ids live in a separate
+        # namespace — sharing happens among int8 paths, never across
+        # precisions.
+        base = "base" if pc.precision == "fp32" else f"base:{pc.precision}"
+        dnn_id = f"task{task.task_id}:{name}" if not _all_shared(pc) else base
         blocks: list[Block] = []
         for group in pc.groups:
             if group.shared:
-                block_id = f"base:{group.group}"
-                block_dnn = "base"
+                block_id = f"{base}:{group.group}"
+                block_dnn = base
             else:
                 block_id = f"task{task.task_id}:{name}:{group.group}"
                 block_dnn = dnn_id

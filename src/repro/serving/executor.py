@@ -228,8 +228,11 @@ class BlockwiseRunner:
     ``modules`` maps ``block_id`` to the :mod:`repro.dnn.graph` module
     implementing the block; ``cacheable`` limits memoization to frozen
     (shared) blocks — fine-tuned suffixes always recompute.  The cache
-    is keyed by ``(input_key, block-id prefix)``, so one input tensor
-    evaluated under several paths reuses the shared trunk's activations.
+    is keyed by ``(input_key, precision, block-id prefix)``, so one
+    input tensor evaluated under several paths reuses the shared
+    trunk's activations — but only within one numeric format: fp32 and
+    int8 executions of the same trunk produce different tensors and
+    must never serve each other.
 
     The cache is a bounded LRU: a long-lived runtime would otherwise
     retain one activation tensor per ``(input_key, prefix)`` forever.
@@ -256,19 +259,38 @@ class BlockwiseRunner:
     #: max cached activations; None = unbounded
     cache_capacity: int | None = 256
     compile_blocks: bool = False
+    #: execute blocks as int8 quantized plans (``"int8"``; implies
+    #: ``compile_blocks``) — activations cached under this mode are
+    #: precision-tagged so fp32 and int8 runs never share tensors
+    quantize: str | None = None
     #: optional multi-core execution backend (see repro.serving.parallel)
     parallel: "ParallelBackend | None" = None
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
-    _cache: OrderedDict[tuple[int, tuple[str, ...]], np.ndarray] = field(
+    _cache: OrderedDict[tuple[int, str, tuple[str, ...]], np.ndarray] = field(
         default_factory=OrderedDict
     )
-    _compiled: dict[tuple[str, tuple[int, ...]], Layer] = field(default_factory=dict)
+    _compiled: dict[tuple[str, str | None, tuple[int, ...]], Layer] = field(
+        default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         if self.cache_capacity is not None and self.cache_capacity < 1:
             raise ValueError("cache_capacity must be >= 1 or None")
+        if self.quantize is not None:
+            if self.quantize != "int8":
+                raise ValueError(f"unsupported quantize mode: {self.quantize!r}")
+            if self.parallel is not None:
+                raise ValueError(
+                    "quantize is not supported with a parallel backend"
+                )
+            self.compile_blocks = True
+
+    @property
+    def precision(self) -> str:
+        """Numeric format this runner executes blocks at."""
+        return self.quantize or "fp32"
 
     def _forward(self, block_id: str, x: np.ndarray) -> np.ndarray:
         if self.parallel is not None:
@@ -276,16 +298,16 @@ class BlockwiseRunner:
         module = self.modules[block_id]
         if not self.compile_blocks:
             return module(x)
-        key = (block_id, tuple(x.shape[1:]))
+        key = (block_id, self.quantize, tuple(x.shape[1:]))
         plan = self._compiled.get(key)
         if plan is None:
             from repro.dnn.compile import compile_module
 
-            plan = compile_module(module, key[1])
+            plan = compile_module(module, key[2], quantize=self.quantize)
             self._compiled[key] = plan
         return plan.forward(x)
 
-    def _remember(self, key: tuple[int, tuple[str, ...]], x: np.ndarray) -> None:
+    def _remember(self, key: tuple[int, str, tuple[str, ...]], x: np.ndarray) -> None:
         self._cache[key] = x
         self._cache.move_to_end(key)
         if self.cache_capacity is not None and len(self._cache) > self.cache_capacity:
@@ -297,15 +319,19 @@ class BlockwiseRunner:
         if missing:
             raise KeyError(f"no modules bound for blocks {missing}")
         block_ids = [b.block_id for b in path.blocks]
+        # Cache entries are tagged with the executing precision: an fp32
+        # and an int8 path sharing a trunk must never serve each other's
+        # activations (they are numerically different tensors).
+        precision = self.precision
         # longest cached prefix of cacheable blocks
         start = 0
         for i in range(len(block_ids), 0, -1):
             prefix = tuple(block_ids[:i])
             if not all(bid in self.cacheable for bid in prefix):
                 continue
-            cached = self._cache.get((input_key, prefix))
+            cached = self._cache.get((input_key, precision, prefix))
             if cached is not None:
-                self._cache.move_to_end((input_key, prefix))
+                self._cache.move_to_end((input_key, precision, prefix))
                 x = cached
                 start = i
                 self.cache_hits += 1
@@ -323,7 +349,7 @@ class BlockwiseRunner:
                 x = self._forward(block_ids[i], x)
             prefix = tuple(block_ids[: i + 1])
             if all(bid in self.cacheable for bid in prefix):
-                self._remember((input_key, prefix), x)
+                self._remember((input_key, precision, prefix), x)
         return x
 
     def clear(self) -> None:

@@ -147,14 +147,30 @@ class CostBasis:
     pruned_compute_factor: float = 0.2
     #: memory of a pruned group relative to the full group
     pruned_memory_factor: float = 0.12
+    #: compute of an int8-quantized group relative to fp32 (measured
+    #: ~1.38x geomean speedup of the quantized engine on Table I)
+    int8_compute_factor: float = 0.72
+    #: memory of an int8 group relative to fp32 (weights 4x smaller,
+    #: int8 activation buffers; runtime overhead keeps it above 0.25)
+    int8_memory_factor: float = 0.30
+    #: top-1 accuracy cost of post-training int8 quantization
+    int8_accuracy_drop: float = 0.005
 
-    def group_compute(self, group: str, pruned: bool) -> float:
+    def group_compute(self, group: str, pruned: bool, int8: bool = False) -> float:
         base = self.compute_s[group]
-        return base * self.pruned_compute_factor if pruned else base
+        if pruned:
+            base *= self.pruned_compute_factor
+        if int8:
+            base *= self.int8_compute_factor
+        return base
 
-    def group_memory(self, group: str, pruned: bool) -> float:
+    def group_memory(self, group: str, pruned: bool, int8: bool = False) -> float:
         base = self.memory_gb[group]
-        return base * self.pruned_memory_factor if pruned else base
+        if pruned:
+            base *= self.pruned_memory_factor
+        if int8:
+            base *= self.int8_memory_factor
+        return base
 
 
 def cost_basis_from_profiler(
@@ -164,17 +180,27 @@ def cost_basis_from_profiler(
     compute_scale: float = 1.0,
     memory_scale: float = 20.0,
     seed: int = 0,
+    include_int8: bool = False,
 ) -> CostBasis:
     """Derive a :class:`CostBasis` from live profiling of the substrate.
 
     ``memory_scale`` maps profiled float32 parameter/activation bytes to
     serving memory (runtime, batching buffers, full-resolution
     activations), keeping the relative block sizes measured.
+
+    ``include_int8=True`` additionally profiles the int8 engine and
+    replaces the default int8 compute/memory factors with measured
+    ratios (quantized vs fp32 CONFIG A).
     """
     from repro.dnn.repository import BLOCK_GROUPS, profile_table_i
 
     profiled = profile_table_i(
-        width=width, input_size=input_size, repeats=repeats, seed=seed
+        width=width,
+        input_size=input_size,
+        repeats=repeats,
+        seed=seed,
+        compiled=include_int8,
+        include_int8=include_int8,
     )
     full = profiled["CONFIG A"]
     pruned = profiled["CONFIG A-pruned"]
@@ -191,11 +217,17 @@ def cost_basis_from_profiler(
             pruned_compute.append(g_pruned.compute_time_s / g_full.compute_time_s)
         if g_full.memory_gb > 0:
             pruned_memory.append(g_pruned.memory_gb / g_full.memory_gb)
-    accuracy = {name: pc.accuracy for name, pc in profiled.items()}
-    training = {
-        name: sum(g.training_cost_s for g in pc.groups) for name, pc in profiled.items()
+    accuracy = {
+        name: pc.accuracy
+        for name, pc in profiled.items()
+        if pc.precision == "fp32"
     }
-    return CostBasis(
+    training = {
+        name: sum(g.training_cost_s for g in pc.groups)
+        for name, pc in profiled.items()
+        if pc.precision == "fp32"
+    }
+    basis = CostBasis(
         compute_s=compute,
         memory_gb=memory,
         accuracy=accuracy,
@@ -203,6 +235,21 @@ def cost_basis_from_profiler(
         pruned_compute_factor=float(np.mean(pruned_compute)) if pruned_compute else 0.2,
         pruned_memory_factor=float(np.mean(pruned_memory)) if pruned_memory else 0.12,
     )
+    if include_int8:
+        full_int8 = profiled["CONFIG A-int8"]
+        c_ratio = full_int8.total_compute_time_s / full.total_compute_time_s
+        m_ratio = full_int8.total_memory_gb / full.total_memory_gb
+        from dataclasses import replace
+
+        basis = replace(
+            basis,
+            int8_compute_factor=float(c_ratio),
+            int8_memory_factor=float(m_ratio),
+            int8_accuracy_drop=max(
+                0.0, full.accuracy - full_int8.accuracy
+            ),
+        )
+    return basis
 
 
 def mobilenet_family_from_profiler(
@@ -271,6 +318,11 @@ class ScenarioCatalogBuilder:
     method_profiles: dict[str, MethodProfile] = field(
         default_factory=lambda: dict(METHOD_PROFILES)
     )
+    #: also emit an int8-quantized variant of every path ("<name>-int8"):
+    #: cheaper compute, 4x-ish smaller memory, small accuracy drop, and
+    #: a *separate* shared-trunk namespace (int8 blocks only share with
+    #: int8 blocks) — quantization as one more solver-visible dimension
+    quantized_variants: bool = False
     seed: int = 0
 
     def _method_profile(self, task: Task) -> MethodProfile:
@@ -282,27 +334,44 @@ class ScenarioCatalogBuilder:
         """Create the catalog: ``len(config_names)`` paths per family per task."""
         rng = np.random.default_rng(self.seed)
         catalog = Catalog()
-        # shared blocks are created once per family and reused verbatim
-        shared_blocks: dict[tuple[str, str], Block] = {}
+        precisions = ("fp32", "int8") if self.quantized_variants else ("fp32",)
+        # shared blocks are created once per family (and precision) and
+        # reused verbatim
+        shared_blocks: dict[tuple[str, str, str], Block] = {}
         for family in self.families:
-            for group in GROUP_NAMES:
-                shared_blocks[(family.family_id, group)] = Block(
-                    block_id=f"{family.family_id}:base:{group}",
-                    dnn_id=f"{family.family_id}:base",
-                    compute_time_s=self.basis.group_compute(group, pruned=False)
-                    * family.compute_scale,
-                    memory_gb=self.basis.group_memory(group, pruned=False)
-                    * family.memory_scale,
-                    training_cost_s=0.0,
-                )
+            for precision in precisions:
+                int8 = precision == "int8"
+                base = f"{family.family_id}:base" + (":int8" if int8 else "")
+                for group in GROUP_NAMES:
+                    shared_blocks[(family.family_id, precision, group)] = Block(
+                        block_id=f"{base}:{group}",
+                        dnn_id=base,
+                        compute_time_s=self.basis.group_compute(
+                            group, pruned=False, int8=int8
+                        )
+                        * family.compute_scale,
+                        memory_gb=self.basis.group_memory(
+                            group, pruned=False, int8=int8
+                        )
+                        * family.memory_scale,
+                        training_cost_s=0.0,
+                    )
         for task in tasks:
             for family in self.families:
                 for name in self.config_names:
                     config = TABLE_I_CONFIGS[name]
-                    path = self._build_path(
-                        task, family, name, config, quality, shared_blocks, rng
-                    )
-                    catalog.add_path(path)
+                    for precision in precisions:
+                        path = self._build_path(
+                            task,
+                            family,
+                            name,
+                            config,
+                            quality,
+                            shared_blocks,
+                            rng,
+                            precision,
+                        )
+                        catalog.add_path(path)
         return catalog
 
     def _build_path(
@@ -312,12 +381,17 @@ class ScenarioCatalogBuilder:
         config_name: str,
         config: BlockConfig,
         quality: QualityLevel,
-        shared_blocks: dict[tuple[str, str], Block],
+        shared_blocks: dict[tuple[str, str, str], Block],
         rng: np.random.Generator,
+        precision: str = "fp32",
     ) -> Path:
-        dnn_id = f"{family.family_id}:task{task.task_id}:{config_name}"
+        int8 = precision == "int8"
+        variant = f"{config_name}-int8" if int8 else config_name
+        dnn_id = f"{family.family_id}:task{task.task_id}:{variant}"
         method = self._method_profile(task)
         blocks: list[Block] = []
+        # training happens in fp32 before post-training quantization, so
+        # int8 variants pay the same fine-tuning cost
         total_training = self.basis.training_cost_s[config_name]
         # split the configuration's training cost across fine-tuned groups
         fine_groups = [
@@ -330,18 +404,18 @@ class ScenarioCatalogBuilder:
                 # shared backbone blocks are method agnostic (low-level
                 # features transfer across CV methods), so they keep the
                 # family cost and stay shareable across methods
-                blocks.append(shared_blocks[(family.family_id, group)])
+                blocks.append(shared_blocks[(family.family_id, precision, group)])
                 continue
             jitter = 1.0 + rng.uniform(-self.compute_jitter, self.compute_jitter)
             blocks.append(
                 Block(
                     block_id=f"{dnn_id}:{group}",
                     dnn_id=dnn_id,
-                    compute_time_s=self.basis.group_compute(group, pruned)
+                    compute_time_s=self.basis.group_compute(group, pruned, int8=int8)
                     * family.compute_scale
                     * method.compute_scale
                     * jitter,
-                    memory_gb=self.basis.group_memory(group, pruned)
+                    memory_gb=self.basis.group_memory(group, pruned, int8=int8)
                     * family.memory_scale
                     * method.memory_scale,
                     training_cost_s=per_group_training,
@@ -353,6 +427,8 @@ class ScenarioCatalogBuilder:
             + method.accuracy_offset
             + rng.uniform(-self.accuracy_jitter, self.accuracy_jitter)
         )
+        if int8:
+            accuracy -= self.basis.int8_accuracy_drop
         return Path(
             path_id=f"{dnn_id}",
             dnn_id=dnn_id,

@@ -212,6 +212,77 @@ def test_cluster_run_reports_qos_hops_and_streamed_bytes():
         assert 0.0 <= util_pct <= 100.0
 
 
+# -- int8 activation streams ------------------------------------------------
+
+
+def test_topology_int8_roundtrip_and_exclusivity(tmp_path):
+    topology = default_topology(2, int8_activations=True)
+    assert ClusterTopology.from_dict(topology.to_dict()).int8_activations
+    path = tmp_path / "nodes.json"
+    topology.save(path)
+    assert ClusterTopology.load(path).int8_activations
+    registry = NodeRegistry.from_topology(topology)
+    assert registry.router.int8_activations
+    with pytest.raises(ValueError):
+        default_topology(2, fp16_activations=True, int8_activations=True)
+
+
+def test_int8_router_charges_quarter_payload():
+    from repro.cluster.stream import LinkSpec as StreamLinkSpec
+    from repro.cluster.stream import StreamRouter
+    from repro.cluster.wire import header_nbytes
+
+    spec = StreamLinkSpec(src="*", dst="*")
+    fp32 = StreamRouter(default_spec=spec)
+    int8 = StreamRouter(default_spec=spec, int8_activations=True)
+    _, _, fp32_bytes = fp32.transfer_bits("a", "b", 32_000.0, 0.0)
+    _, _, int8_bytes = int8.transfer_bits("a", "b", 32_000.0, 0.0)
+    assert fp32_bytes == header_nbytes(ndim=4) + 4000
+    assert int8_bytes == header_nbytes(ndim=4, quantize_int8=True) + 1000
+    # self-hops stay free in every mode
+    assert int8.transfer_bits("a", "a", 32_000.0, 0.0) == (0.0, False, 0)
+
+
+def test_int8_send_tensor_round_trips_losslessly():
+    """Acceptance: int8 activations produced by the quantized engine
+    travel verbatim — the frame decodes to the same bytes plus the
+    producing plan's activation scale."""
+    from repro.cluster.stream import LinkSpec as StreamLinkSpec
+    from repro.cluster.stream import StreamRouter
+    from repro.cluster.wire import decode_frame_info
+
+    router = StreamRouter(
+        default_spec=StreamLinkSpec(src="*", dst="*"), int8_activations=True
+    )
+    tensor = np.arange(-64, 64, dtype=np.int8).reshape(4, 32)
+    delivery, frame = router.send_tensor("a", "b", tensor, 0.0, scale=0.03125)
+    assert delivery > 0.0
+    decoded, consumed, info = decode_frame_info(frame)
+    assert consumed == len(frame)
+    assert info.int8 and info.scale == pytest.approx(np.float32(0.03125))
+    np.testing.assert_array_equal(decoded, tensor)
+
+
+def test_int8_cluster_streams_fewer_bytes_same_service():
+    runtime = _runtime()
+    runtime.cluster = _deploy(runtime, default_topology(3))
+    baseline = runtime.run()
+    assert runtime.cluster.plan.split_tasks > 0
+    fp32_bytes = runtime.executor.qos.bytes_streamed
+    assert fp32_bytes > 0
+
+    quantized = _runtime()
+    quantized.cluster = _deploy(
+        quantized, default_topology(3, int8_activations=True)
+    )
+    metrics = quantized.run()
+    int8_bytes = quantized.executor.qos.bytes_streamed
+    assert metrics.offered == baseline.offered
+    assert metrics.completed > 0
+    # payloads quarter; headers keep the ratio just above 1/4
+    assert 0 < int8_bytes < 0.3 * fp32_bytes
+
+
 # -- fault injection: bounded retry and the two drop reasons ---------------
 
 

@@ -18,6 +18,7 @@ from repro.cluster.wire import (
     VersionMismatchError,
     WireError,
     decode_frame,
+    decode_frame_info,
     encode_frame,
     frame_nbytes,
     header_nbytes,
@@ -164,6 +165,129 @@ def test_decoded_tensor_is_decoupled_from_buffer():
     decoded, _ = decode_frame(frame)
     frame[-4:] = b"\x00\x00\x00\x00"  # clobber the source buffer
     np.testing.assert_array_equal(decoded, array)
+
+
+# -- int8 + scale frames (wire version 2) ----------------------------------
+
+
+@given(
+    shape=st.lists(st.integers(0, 5), min_size=0, max_size=4).map(tuple),
+    seed=st.integers(0, 2**16),
+    scale=st.floats(1e-6, 1e6, allow_nan=False, allow_infinity=False),
+)
+@settings(max_examples=80, deadline=None)
+def test_int8_payload_roundtrips_losslessly_with_scale(shape, seed, scale):
+    """Already-int8 activations (quantized engine outputs) ship verbatim."""
+    array = _array(np.dtype("int8"), shape, seed)
+    frame = encode_frame(array, quantize_int8=True, scale=scale)
+    assert len(frame) == frame_nbytes(array.shape, 1, quantize_int8=True)
+    decoded, consumed, info = decode_frame_info(frame)
+    assert consumed == len(frame)
+    assert info.int8 and not info.fp16
+    assert info.version == WIRE_VERSION
+    assert info.scale == pytest.approx(np.float32(scale))
+    assert decoded.dtype == np.int8
+    np.testing.assert_array_equal(decoded, array)
+
+
+@given(
+    shape=st.lists(st.integers(1, 6), min_size=1, max_size=3).map(tuple),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_int8_strided_views_roundtrip(shape, seed):
+    array = _array(np.dtype("int8"), shape, seed)
+    views = [array.T]
+    if array.shape[0] > 1:
+        views.append(array[::-1])
+        views.append(array[::2])
+    for view in views:
+        decoded, _, info = decode_frame_info(
+            encode_frame(view, quantize_int8=True, scale=0.5)
+        )
+        assert info.int8
+        np.testing.assert_array_equal(decoded, view)
+
+
+@given(
+    shape=st.lists(st.integers(1, 5), min_size=1, max_size=3).map(tuple),
+    seed=st.integers(0, 2**16),
+    dtype=st.sampled_from([np.dtype("float32"), np.dtype("float64")]),
+)
+@settings(max_examples=60, deadline=None)
+def test_float_int8_quantization_error_bounded(shape, seed, dtype):
+    """Float payloads quantized on the wire come back within scale/2."""
+    array = _array(dtype, shape, seed)
+    frame = encode_frame(array, quantize_int8=True)
+    assert len(frame) == frame_nbytes(array.shape, dtype.itemsize, quantize_int8=True)
+    decoded, _, info = decode_frame_info(frame)
+    assert decoded.dtype == dtype  # logical dtype restored
+    # symmetric round-to-nearest: |x - q*scale| <= scale/2 (+ f32 eps slack)
+    bound = info.scale * 0.5 + 1e-5 * max(1.0, info.scale)
+    assert float(np.max(np.abs(decoded - array))) <= bound
+
+
+@given(seed=st.integers(0, 2**16), cut=st.floats(0.0, 0.999))
+@settings(max_examples=60, deadline=None)
+def test_truncated_int8_frame_raises_at_any_cut(seed, cut):
+    array = _array(np.dtype("int8"), (3, 4), seed)
+    frame = encode_frame(array, quantize_int8=True, scale=0.25)
+    with pytest.raises(TruncatedFrameError):
+        decode_frame(frame[: int(len(frame) * cut)])
+
+
+def test_int8_frames_byte_deterministic():
+    array = np.linspace(-3, 3, 24, dtype=np.float32).reshape(2, 3, 4)
+    assert encode_frame(array, quantize_int8=True) == encode_frame(
+        array.copy(), quantize_int8=True
+    )
+
+
+def test_fp16_and_int8_mutually_exclusive():
+    array = np.zeros((2, 2), dtype=np.float32)
+    with pytest.raises(WireError):
+        encode_frame(array, downcast_fp16=True, quantize_int8=True)
+    with pytest.raises(WireError):
+        frame_nbytes((2, 2), 4, downcast_fp16=True, quantize_int8=True)
+
+
+def test_int8_quantize_rejects_integer_payloads():
+    with pytest.raises(WireError):
+        encode_frame(np.zeros(3, dtype=np.int32), quantize_int8=True)
+
+
+def _v1_frame(array: np.ndarray, flags: int = 0) -> bytes:
+    """Hand-build a version-1 frame (no scale field ever)."""
+    payload = np.ascontiguousarray(array).tobytes()
+    parts = [
+        wire._PREFIX.pack(
+            wire._MAGIC, 1, flags, array.dtype.str.encode("ascii"), array.ndim
+        )
+    ]
+    parts.extend(wire._DIM.pack(dim) for dim in array.shape)
+    parts.append(wire._PAYLOAD_LEN.pack(len(payload)))
+    parts.append(payload)
+    return b"".join(parts)
+
+
+def test_version1_frames_still_decode():
+    array = np.linspace(-2, 2, 12, dtype=np.float32).reshape(3, 4)
+    decoded, consumed, info = decode_frame_info(_v1_frame(array))
+    assert consumed == len(_v1_frame(array))
+    assert info.version == 1
+    assert not info.int8
+    np.testing.assert_array_equal(decoded, array)
+
+
+def test_int8_flag_on_version1_frame_rejected():
+    array = np.zeros((2, 2), dtype=np.int8)
+    with pytest.raises(WireError):
+        decode_frame(_v1_frame(array, flags=wire._FLAG_INT8))
+
+
+def test_encoded_frames_carry_current_version():
+    frame = encode_frame(np.zeros(2, dtype=np.float32))
+    assert frame[2] == WIRE_VERSION == 2
 
 
 def test_tcp_loopback_roundtrip():

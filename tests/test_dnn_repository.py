@@ -127,3 +127,78 @@ class TestBuildTaskPaths:
             _task(1, quality), profiled, quality, accuracy_offset=2.0
         )
         assert all(p.accuracy == 1.0 for p in paths)
+
+
+class TestInt8Variants:
+    """Quantized Table I variants: precision-aware profiling + sharing."""
+
+    @pytest.fixture(scope="class")
+    def with_int8(self):
+        return profile_table_i(
+            width=8, input_size=16, repeats=1, include_int8=True
+        )
+
+    def test_int8_doubles_the_catalog(self, with_int8):
+        assert len(with_int8) == 20
+        assert sum(1 for pc in with_int8.values() if pc.precision == "int8") == 10
+
+    def test_int8_variants_tagged_and_cheaper_in_memory(self, with_int8):
+        for name, pc in with_int8.items():
+            if not name.endswith("-int8"):
+                assert pc.precision == "fp32"
+                continue
+            assert pc.precision == "int8"
+            fp32 = with_int8[name.removesuffix("-int8")]
+            # int8 weights are 4x smaller; activations 1 byte vs 4 —
+            # total m(s) lands well under half the fp32 footprint
+            assert pc.total_memory_gb < 0.5 * fp32.total_memory_gb
+            # quantization costs the documented accuracy drop
+            assert pc.accuracy == pytest.approx(fp32.accuracy - 0.005)
+
+    def test_int8_shared_blocks_live_in_own_namespace(self, with_int8, quality):
+        paths = {
+            p.path_id: p
+            for p in build_task_paths(_task(1, quality), with_int8, quality)
+        }
+        int8_b = paths["task1:CONFIG B-int8"]
+        fp32_b = paths["task1:CONFIG B"]
+        int8_shared = {
+            b.block_id for b in int8_b.blocks if "base" in b.block_id
+        }
+        fp32_shared = {
+            b.block_id for b in fp32_b.blocks if "base" in b.block_id
+        }
+        assert all(b.startswith("base:int8:") for b in int8_shared)
+        assert not int8_shared & fp32_shared  # never cross-precision
+
+    def test_exact_int8_weight_byte_math(self):
+        """Pin the conv byte math: fp32 fused conv stores 4*(o*c*k*k)
+        weight bytes + 4*o bias; int8 stores o*c*k*k int8 bytes + 8*o
+        (f32 requant scale + bias columns).  The fp32->int8 saving over
+        a whole ResNet-18 plan must equal the per-conv formula summed
+        exactly — any drift means m(s) is no longer dtype-aware."""
+        from repro.dnn.compile import compile_module
+        from repro.dnn.layers import Conv2d
+        from repro.dnn.quantize import plan_param_bytes
+        from repro.dnn.resnet import build_resnet18
+
+        model = build_resnet18(num_classes=10, input_size=16, width=8, seed=0)
+        fp32_bytes = plan_param_bytes(compile_module(model))
+        int8_bytes = compile_module(model, quantize="int8").param_bytes()
+
+        def walk(layer):
+            yield layer
+            children = getattr(layer, "children", None)
+            if children is not None:
+                for child in children():
+                    yield from walk(child)
+
+        expected_saving = 0
+        for layer in walk(model._as_sequential):
+            if isinstance(layer, Conv2d):
+                o, c, k, _ = layer.weight.shape
+                expected_saving += (4 * o * c * k * k + 4 * o) - (
+                    o * c * k * k + 8 * o
+                )
+        assert fp32_bytes - int8_bytes == expected_saving
+        assert fp32_bytes == 703_208 and int8_bytes == 181_952

@@ -85,6 +85,30 @@ class TestWindowCosts:
             2 * PATH_A.compute_time_s + PATH_B.compute_time_s
         )
 
+    def test_precision_separate_trunks_never_merge(self):
+        """int8 catalog variants live in a ``base:int8:`` block namespace,
+        so the prefix trie (here and in the cluster hop-0 fusion, which
+        reuses ``_window_costs``) can never fuse an fp32 batch with an
+        int8 one — the block-id sequences differ from the first hop."""
+        trunk_q = (
+            Block("base:int8:g1", "base:int8", compute_time_s=0.005, memory_gb=0.05),
+            Block("base:int8:g2", "base:int8", compute_time_s=0.004, memory_gb=0.05),
+        )
+        head_q = Block("a:int8:g3", "a:int8", compute_time_s=0.002, memory_gb=0.02)
+        path_q = Path(
+            "a-int8", "a:int8", 1, trunk_q + (head_q,),
+            accuracy=0.895, quality=QUALITY,
+        )
+        reqs = [request(PATH_A, 0), request(path_q, 1)]
+        merged, unmerged, merges = _window_costs(reqs, 0.5)
+        assert merges == 0
+        assert merged == pytest.approx(unmerged)
+        # sanity: the same shape with a *shared* trunk does merge
+        _, _, fp32_merges = _window_costs(
+            [request(PATH_A, 0), request(PATH_B, 1)], 0.5
+        )
+        assert fp32_merges > 0
+
 
 class TestBatchExecutor:
     def test_dispatch_stamps_requests(self):
@@ -259,7 +283,44 @@ class TestBlockwiseRunner:
             runner.run(path_a, x, input_key=key)
         assert runner.cache_evictions == 2
         # 1 and 2 left in insertion order; 3..5 remain resident
-        assert [key for key, _prefix in runner._cache] == [3, 4, 5]
+        assert [key for key, _precision, _prefix in runner._cache] == [3, 4, 5]
+
+    def test_precision_tagged_cache_never_crosses_formats(self):
+        """Regression: fp32 and int8 runs sharing one activation store
+        must never serve each other's trunk activations.  The old
+        ``(input_key, prefix)`` key (no precision tag) would hit here
+        and hand the int8 path an fp32-exact tensor."""
+        runner, path_a, _, modules = self._runner()
+        x = np.random.default_rng(0).normal(size=(2, 4)).astype(np.float32)
+        out_fp32 = runner.run(path_a, x, input_key=9)
+        quantized = BlockwiseRunner(
+            modules=modules,
+            cacheable=frozenset({"base:g1"}),
+            quantize="int8",
+            _cache=runner._cache,  # one shared activation store
+        )
+        out_int8 = quantized.run(path_a, x, input_key=9)
+        assert quantized.cache_hits == 0 and quantized.cache_misses == 1
+        # matches an isolated int8 runner bit for bit (nothing leaked in)
+        isolated = BlockwiseRunner(
+            modules=modules, cacheable=frozenset({"base:g1"}), quantize="int8"
+        )
+        np.testing.assert_array_equal(
+            out_int8, isolated.run(path_a, x, input_key=9)
+        )
+        # both precisions resident under distinct keys
+        assert {(k, p) for k, p, _prefix in runner._cache} == {
+            (9, "fp32"),
+            (9, "int8"),
+        }
+        # and the quantized trunk output genuinely differs from fp32
+        assert not np.allclose(out_int8, out_fp32, atol=1e-7)
+
+    def test_quantize_validation(self):
+        with pytest.raises(ValueError):
+            BlockwiseRunner(modules={}, quantize="int4")
+        runner = BlockwiseRunner(modules={}, quantize="int8")
+        assert runner.compile_blocks and runner.precision == "int8"
 
     def test_clear_compiled_keeps_cached_activations(self):
         runner, path_a, _, modules = self._runner()

@@ -107,6 +107,93 @@ class TestScenarioCatalogBuilder:
         assert path.compute_time_s == pytest.approx(0.5 * sum(basis.compute_s.values()))
 
 
+class TestQuantizedVariants:
+    """int8 catalog variants: the solver-visible quantization axis."""
+
+    def test_quantized_variants_double_the_paths(self, quality):
+        builder = ScenarioCatalogBuilder(quantized_variants=True)
+        catalog = builder.build((make_task(1),), quality)
+        paths = catalog.paths_for(1)
+        assert len(paths) == 20  # 10 configs x {fp32, int8}
+        assert sum(1 for p in paths if p.path_id.endswith("-int8")) == 10
+
+    def test_int8_blocks_cheaper_not_cross_shared(self, quality):
+        builder = ScenarioCatalogBuilder(
+            config_names=("CONFIG B",), quantized_variants=True,
+            compute_jitter=0.0, accuracy_jitter=0.0,
+        )
+        catalog = builder.build((make_task(1),), quality)
+        by_id = {p.path_id: p for p in catalog.paths_for(1)}
+        fp32 = by_id[next(k for k in by_id if not k.endswith("-int8"))]
+        int8 = by_id[next(k for k in by_id if k.endswith("-int8"))]
+        assert sum(b.memory_gb for b in int8.blocks) < 0.5 * sum(
+            b.memory_gb for b in fp32.blocks
+        )
+        assert int8.compute_time_s < fp32.compute_time_s
+        assert int8.accuracy == pytest.approx(fp32.accuracy - 0.005)
+        fp32_shared = {b.block_id for b in fp32.blocks if ":base" in b.block_id}
+        int8_shared = {b.block_id for b in int8.blocks if ":base" in b.block_id}
+        assert int8_shared and not fp32_shared & int8_shared
+        assert all(":base:int8:" in b for b in int8_shared)
+
+    def test_solver_chooses_int8_under_tight_memory(self, quality):
+        """Acceptance: under a tightened memory budget the DOT solver
+        picks int8 variants and admits strictly more than the
+        fp32-only catalog on the same instance."""
+        from repro.core.heuristic import OffloaDNNSolver
+        from repro.core.problem import Budgets, DOTProblem, RadioModel
+        from repro.workloads.smallscale import (
+            SMALL_SCALE_CONFIGS,
+            SMALL_SCALE_FAMILIES,
+        )
+
+        def build_problem(quantized: bool) -> DOTProblem:
+            tasks = small_scale_tasks(5)
+            builder = ScenarioCatalogBuilder(
+                families=SMALL_SCALE_FAMILIES,
+                config_names=SMALL_SCALE_CONFIGS,
+                quantized_variants=quantized,
+                seed=0,
+            )
+            catalog = builder.build(tasks, tasks[0].qualities[0])
+            return DOTProblem(
+                tasks=tasks,
+                catalog=catalog,
+                budgets=Budgets(
+                    compute_time_s=2.5,
+                    training_budget_s=1000.0,
+                    memory_gb=1.0,  # tightened: 8.0 in Table IV
+                    radio_blocks=50,
+                ),
+                radio=RadioModel(default_bits_per_rb=350_000.0),
+                alpha=0.5,
+            )
+
+        fp32_problem = build_problem(False)
+        int8_problem = build_problem(True)
+        fp32_solution = OffloaDNNSolver().solve(fp32_problem)
+        int8_solution = OffloaDNNSolver().solve(int8_problem)
+        assert (
+            int8_solution.weighted_admission_ratio
+            > fp32_solution.weighted_admission_ratio
+        )
+        assert (
+            int8_solution.admitted_task_count
+            > fp32_solution.admitted_task_count
+        )
+        chosen = [
+            int8_solution.assignment(t).path.path_id
+            for t in int8_problem.tasks
+            if int8_solution.assignment(t).path is not None
+        ]
+        assert any(p.endswith("-int8") for p in chosen)
+        # admitted paths still honor each task's accuracy floor
+        for task in int8_problem.tasks:
+            path = int8_solution.assignment(task).path
+            if path is not None:
+                assert path.accuracy >= task.min_accuracy
+
+
 class TestSmallScale:
     def test_table_iv_parameters(self):
         assert SMALL_SCALE.request_rate == 5.0
