@@ -141,6 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
             "(4x fewer payload bytes than fp32; multi-node only)",
         )
         parser.add_argument("--poisson", action="store_true", help="Poisson arrivals")
+        parser.add_argument(
+            "--engine", choices=["vector", "scalar"], default="vector",
+            help="data plane: vectorized arrival waves (default) or the "
+            "per-request DES reference it is bit-identical to",
+        )
         parser.add_argument("--seed", type=int, default=0)
         _add_trace_arg(parser)
 
@@ -457,6 +462,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         prefix_cache=not args.no_prefix_cache,
         poisson=args.poisson,
         load_factor=args.load,
+        engine=args.engine,
         seed=args.seed,
     )
     with scope:

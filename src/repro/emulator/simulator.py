@@ -5,6 +5,12 @@ ordered in a heap; callbacks schedule further events.  Determinism
 matters because the emulation benches assert reproducible latency
 traces.
 
+The heap holds plain ``(time, sequence, event)`` tuples: sequence
+numbers are unique, so comparisons resolve on the first two float/int
+fields and never fall through to the event object.  That keeps the hot
+``heappush``/``heappop`` path free of dataclass rich comparisons, which
+matters once the serving data plane pushes 10⁵–10⁶ events per run.
+
 Cancelled events are purged lazily: :meth:`Event.cancel` notifies the
 owning simulator, and once more than half the heap is dead the queue is
 compacted in one filter + heapify pass.  Workloads that churn timers
@@ -12,6 +18,13 @@ compacted in one filter + heapify pass.  Workloads that churn timers
 by the *live* event count instead of growing with every cancellation.
 Because events are totally ordered by ``(time, sequence)``, compaction
 never changes the pop order of the surviving events.
+
+With ``recycle_events=True`` the simulator keeps a freelist of fired
+:class:`Event` objects and reuses them for subsequent ``schedule``
+calls, so a million-event run stops thrashing the allocator.  Only opt
+in when no caller retains event handles past their firing (a stale
+handle would alias the recycled slot's next occupant); the serving wave
+engine qualifies, generic emulation code may not.
 """
 
 from __future__ import annotations
@@ -23,7 +36,11 @@ from typing import Callable
 __all__ = ["Event", "Simulator"]
 
 
-@dataclass(order=True)
+def _noop() -> None:  # pragma: no cover - placeholder for pooled slots
+    raise RuntimeError("recycled event fired without a callback")
+
+
+@dataclass(order=True, slots=True)
 class Event:
     """One scheduled callback; ordering is (time, sequence)."""
 
@@ -46,25 +63,34 @@ class Event:
 class Simulator:
     """Event loop with virtual time."""
 
-    def __init__(self) -> None:
-        self._queue: list[Event] = []
+    def __init__(self, recycle_events: bool = False) -> None:
+        self._queue: list[tuple[float, int, Event]] = []
         self._sequence = 0
         self._cancelled = 0
         self.now = 0.0
         self.events_processed = 0
+        self.recycle_events = recycle_events
+        self._freelist: list[Event] = []
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError("delay must be >= 0")
-        event = Event(
-            time=self.now + delay,
-            sequence=self._sequence,
-            callback=callback,
-            _owner=self,
-        )
+        time = self.now + delay
+        sequence = self._sequence
         self._sequence += 1
-        heapq.heappush(self._queue, event)
+        if self._freelist:
+            event = self._freelist.pop()
+            event.time = time
+            event.sequence = sequence
+            event.callback = callback
+            event.cancelled = False
+            event._owner = self
+        else:
+            event = Event(
+                time=time, sequence=sequence, callback=callback, _owner=self
+            )
+        heapq.heappush(self._queue, (time, sequence, event))
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
@@ -75,16 +101,22 @@ class Simulator:
         """A queued event died; compact once the heap is mostly dead."""
         self._cancelled += 1
         if self._cancelled * 2 > len(self._queue):
-            self._queue = [e for e in self._queue if not e.cancelled]
+            self._queue = [
+                entry for entry in self._queue if not entry[2].cancelled
+            ]
             heapq.heapify(self._queue)
             self._cancelled = 0
 
     def _pop(self) -> Event:
-        event = heapq.heappop(self._queue)
+        event = heapq.heappop(self._queue)[2]
         if event.cancelled:
             self._cancelled -= 1
         event._owner = None
         return event
+
+    def _recycle(self, event: Event) -> None:
+        event.callback = _noop
+        self._freelist.append(event)
 
     def run_until(self, end_time: float) -> None:
         """Process events with ``time <= end_time`` in order.
@@ -95,17 +127,21 @@ class Simulator:
         how quiet the run was.  A past ``end_time`` leaves ``now``
         untouched.
         """
-        while self._queue and self._queue[0].time <= end_time:
+        recycle = self.recycle_events
+        while self._queue and self._queue[0][0] <= end_time:
             event = self._pop()
             if event.cancelled:
                 continue
             self.now = event.time
             event.callback()
             self.events_processed += 1
+            if recycle:
+                self._recycle(event)
         self.now = max(self.now, end_time)
 
     def run(self) -> None:
         """Run until the event queue drains."""
+        recycle = self.recycle_events
         while self._queue:
             event = self._pop()
             if event.cancelled:
@@ -113,6 +149,8 @@ class Simulator:
             self.now = event.time
             event.callback()
             self.events_processed += 1
+            if recycle:
+                self._recycle(event)
 
     @property
     def pending(self) -> int:

@@ -68,6 +68,16 @@ class Histogram:
     def observe(self, value: float) -> None:
         self.samples.append(value)
 
+    def observe_many(self, values) -> None:
+        """Bulk-observe a sequence (numpy array or list) of samples.
+
+        One ``extend`` instead of N ``observe`` calls; the wave engine
+        records whole latency buffers this way.  Values are coerced to
+        python floats so the sample list stays homogeneous with the
+        scalar :meth:`observe` path.
+        """
+        self.samples.extend(float(v) for v in values)
+
     @property
     def count(self) -> int:
         return len(self.samples)
@@ -93,13 +103,29 @@ class Histogram:
             return float("nan")
         return float(np.percentile(np.asarray(self.samples, dtype=float), q))
 
+    def percentiles(self, qs: tuple[float, ...]) -> tuple[float, ...]:
+        """Several percentiles from one sort.
+
+        ``np.percentile`` with a vector of quantiles partitions the
+        sample array once and interpolates each ``q`` from it — same
+        linear-interpolation values as per-``q`` calls (pinned by the
+        metrics tests), at one array conversion and one sort instead of
+        one per percentile.
+        """
+        if not self.samples:
+            nan = float("nan")
+            return tuple(nan for _ in qs)
+        values = np.percentile(np.asarray(self.samples, dtype=float), list(qs))
+        return tuple(float(v) for v in values)
+
     def summary(self) -> dict:
+        p50, p95, p99 = self.percentiles((50, 95, 99))
         return {
             "count": self.count,
             "mean": self.mean,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+            "p50": p50,
+            "p95": p95,
+            "p99": p99,
             "max": self.max,
         }
 

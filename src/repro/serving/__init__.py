@@ -17,14 +17,21 @@ through the deployed DNN paths on the discrete-event simulator, with
   shared-memory weight arenas, a persistent process pool sharding
   batches across workers, and an adaptive micro-batching dispatcher;
 * :mod:`repro.serving.runtime` — the end-to-end loop on the emulator
-  clock, reusing the LTE uplink for transfer time.
+  clock, reusing the LTE uplink for transfer time;
+* :mod:`repro.serving.waves` / :mod:`repro.serving.engine` — the
+  vectorized data plane: whole arrival waves precomputed with numpy,
+  closed-form token-bucket admission, pooled request records
+  (:mod:`repro.serving.pool`), one DES event per batching window —
+  bit-identical to the scalar path and the default engine.
 
 Entry points: ``ServingRuntime.from_problem(problem).run()`` or the
 ``repro serve-sim`` CLI command.
 """
 
 from repro.serving.admission import AdmissionGate, TokenBucket
+from repro.serving.engine import TaskWave, WavePlan
 from repro.serving.executor import BatchExecutor, BlockwiseRunner, WindowReport
+from repro.serving.pool import RequestPool
 from repro.serving.metrics import LatencyStats, ServingMetrics, TaskServingMetrics
 from repro.serving.parallel import (
     MicroBatcher,
@@ -43,13 +50,16 @@ __all__ = [
     "LatencyStats",
     "MicroBatcher",
     "ParallelBackend",
+    "RequestPool",
     "ServingConfig",
     "ServingMetrics",
     "ServingQueue",
     "ServingRequest",
     "ServingRuntime",
     "TaskServingMetrics",
+    "TaskWave",
     "TokenBucket",
+    "WavePlan",
     "WeightArena",
     "WindowReport",
     "shared_memory_available",

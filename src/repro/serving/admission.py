@@ -13,13 +13,24 @@ one request costs a full token.  Over any window of ``n`` requests the
 served count is within one of ``n·z_τ`` (exact for ``z_τ ∈ {0, 1}``),
 and the gate needs no clock, so the decision sequence is reproducible
 regardless of arrival jitter.
+
+The bucket evaluates its documented admission law in *closed form*:
+request ``k`` is admitted iff the target ``⌊k·z + ε⌋`` exceeds the
+admitted count so far.  The closed form is what lets the vectorized
+wave engine (:mod:`repro.serving.waves`) meter a whole arrival wave as
+one numpy expression with decisions and credit levels bit-identical to
+this per-request loop — a property the hypothesis parity suite pins.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 __all__ = ["TokenBucket", "AdmissionGate"]
+
+#: tolerance absorbing float error in the credit target ``k·z``
+ADMIT_EPS = 1e-12
 
 
 @dataclass
@@ -27,10 +38,11 @@ class TokenBucket:
     """Deterministic token bucket metering one task's request stream.
 
     ``ratio`` is the admission ratio ``z_τ``; ``burst`` bounds the
-    credit a quiet stream can accumulate (in requests, ≥ 1).  With the
-    default burst of 1 the admitted pattern is the evenly-spaced
-    low-discrepancy sequence: request ``k`` is admitted iff
-    ``⌊k·z⌋ > ⌊(k-1)·z⌋``.
+    credit a quiet stream can accumulate (in requests, ≥ 1).  The
+    admitted pattern is the evenly-spaced low-discrepancy sequence:
+    request ``k`` is admitted iff ``⌊k·z⌋ > ⌊(k-1)·z⌋`` (clamped to one
+    admission per offered request), so over any window of ``n``
+    requests the served count is within one of ``n·z``.
     """
 
     ratio: float
@@ -48,15 +60,33 @@ class TokenBucket:
     def allow(self) -> bool:
         """Meter one offered request; True if it may be served."""
         self.offered += 1
-        self._credit += self.ratio
-        admitted = self._credit >= 1.0 - 1e-12
+        target = math.floor(self.offered * self.ratio + ADMIT_EPS)
+        admitted = target > self.admitted
         if admitted:
-            self._credit -= 1.0
             self.admitted += 1
-        # cap the banked credit AFTER spending — clipping before the
-        # check would discard fractional credit and underserve high z
-        self._credit = min(self._credit, self.burst)
+        # banked credit: earned tokens not yet spent, capped at `burst`
+        self._credit = min(
+            self.offered * self.ratio - self.admitted, self.burst
+        )
         return admitted
+
+    def fast_forward(self, offered: int, admitted: int) -> None:
+        """Jump the bucket to the state after ``offered`` requests.
+
+        Used by the wave engine after metering a whole arrival wave in
+        closed form: the bucket object stays consistent for
+        observability probes and the ``served_fraction`` accessor
+        without replaying the per-request loop.
+        """
+        if offered < 0 or not 0 <= admitted <= offered:
+            raise ValueError("need 0 <= admitted <= offered")
+        self.offered = int(offered)
+        self.admitted = int(admitted)
+        self._credit = (
+            min(self.offered * self.ratio - self.admitted, self.burst)
+            if offered
+            else 0.0
+        )
 
     @property
     def credit(self) -> float:

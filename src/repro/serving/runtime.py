@@ -40,8 +40,10 @@ from repro.obs.session import ObsSession
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.radio.slicing import SliceManager
 from repro.serving.admission import AdmissionGate
+from repro.serving.engine import WavePlan
 from repro.serving.executor import BatchExecutor
 from repro.serving.metrics import ServingMetrics, TaskServingMetrics
+from repro.serving.pool import RequestPool
 from repro.serving.queueing import DropReason, ServingQueue, ServingRequest
 
 __all__ = ["ServingConfig", "ServingRuntime"]
@@ -123,9 +125,16 @@ class ServingConfig:
     result_return_s: float = 0.002
     #: token-bucket burst in requests
     admission_burst: float = 1.0
+    #: data-plane engine: ``"vector"`` precomputes whole arrival waves
+    #: (numpy, pooled records, one event per window — the 10⁵–10⁶
+    #: request path), ``"scalar"`` is the one-event-per-request DES
+    #: reference the vector path is bit-identical to
+    engine: str = "vector"
     seed: int = 0
 
     def __post_init__(self) -> None:
+        if self.engine not in ("vector", "scalar"):
+            raise ValueError(f"unknown engine {self.engine!r}")
         if self.duration_s <= 0:
             raise ValueError("duration_s must be positive")
         if self.batch_window_s <= 0:
@@ -160,6 +169,8 @@ class ServingRuntime:
     # run state (rebuilt by every run() call)
     simulator: Simulator = field(init=False, repr=False)
     executor: object = field(init=False, repr=False)
+    #: freelist reused across runs (vector engine request records)
+    pool: RequestPool = field(init=False, repr=False, default_factory=RequestPool)
     #: every request record of the last run (completed and dropped)
     last_requests: list[ServingRequest] = field(
         init=False, repr=False, default_factory=list
@@ -210,7 +221,10 @@ class ServingRuntime:
         """Execute one seeded serving simulation and summarize it."""
         cfg = self.config
         obs = self.obs
-        sim = self.simulator = Simulator()
+        vector = cfg.engine == "vector"
+        # the wave engine never hands event objects to callers, so the
+        # simulator may recycle them through its freelist
+        sim = self.simulator = Simulator(recycle_events=vector)
         tracer: Tracer | NullTracer = NULL_TRACER
         if obs is not None:
             obs.bind_virtual_clock(lambda: sim.now)
@@ -274,64 +288,21 @@ class ServingRuntime:
                 policy=cfg.queue_policy,
                 max_depth=cfg.queue_depth,
             )
+        # dispatch order is fixed for the whole run: build the sorted
+        # queue index once instead of re-sorting every window
+        ordered_queues = [(tid, queues[tid]) for tid in sorted(queues)]
 
-        def emit(task, path, rng) -> None:
-            now = sim.now
-            request = ServingRequest(
-                task_id=task.task_id,
-                request_id=state["next_id"],
-                path=path,
-                created_at=now,
-                deadline_at=now + task.max_latency_s,
-                bits=path.bits_per_image,
-            )
-            state["next_id"] += 1
-            records.append(request)
-            if not gate.allow(task.task_id):
-                request.drop_reason = DropReason.ADMISSION
-                if tracer.enabled:
-                    tracer.event_at(
-                        "drop.admission",
-                        now,
-                        cat="serving",
-                        track=f"task{task.task_id}",
-                        args={"request": request.request_id},
-                    )
-            else:
-                state["outstanding"] += 1
-                delivery = cell.enqueue_frame(task.task_id, request.bits, now)
-                request.uplink_done_at = delivery
+        def drain_window(now: float) -> None:
+            """One batching window: pop, dispatch, schedule completion.
 
-                def arrive() -> None:
-                    victim = queues[task.task_id].push(request)
-                    if victim is not None:
-                        state["outstanding"] -= 1
-                        if tracer.enabled:
-                            tracer.event_at(
-                                "drop.queue_full",
-                                sim.now,
-                                cat="serving",
-                                track=f"task{victim.task_id}",
-                                args={"request": victim.request_id},
-                            )
-
-                sim.schedule_at(delivery, arrive)
-            rate = task.request_rate * cfg.load_factor
-            gap = (
-                float(rng.exponential(1.0 / rate)) if cfg.poisson else 1.0 / rate
-            )
-            if now + gap <= cfg.duration_s:
-                sim.schedule(gap, lambda: emit(task, path, rng))
-
-        for task, path in served_tasks:
-            rng = np.random.default_rng(cfg.seed * 7919 + task.task_id)
-            sim.schedule(0.0, lambda t=task, p=path, r=rng: emit(t, p, r))
-
-        def dispatch() -> None:
-            now = sim.now
+            Shared verbatim by both engines — everything downstream of
+            the serving queues (EDF/FIFO pops, deadline drops, prefix
+            fusion, completion timing) is one code path, which is what
+            makes cross-engine bit-identity a property of the arrival
+            side alone.
+            """
             window: list[ServingRequest] = []
-            for task_id in sorted(queues):
-                queue = queues[task_id]
+            for task_id, queue in ordered_queues:
                 while cfg.max_batch is None or len(window) < cfg.max_batch:
                     request, expired = queue.pop_ready(now)
                     state["outstanding"] -= len(expired)
@@ -384,10 +355,108 @@ class ServingRuntime:
 
                 sim.schedule_at(completed_at, complete)
             state["work_end"] = now
-            if now < cfg.duration_s or state["outstanding"] > 0:
-                sim.schedule(cfg.batch_window_s, dispatch)
 
-        if served_tasks:
+        plan: WavePlan | None = None
+        wave_records: dict[int, list[ServingRequest]] = {}
+        if vector and served_tasks:
+            plan = WavePlan.build(served_tasks, cfg, gate, cell)
+            self.pool.reset()
+            wave_records = {task.task_id: [] for task in self.problem.tasks}
+            # every admitted request is in flight from the engine's
+            # point of view; the same decrements as the scalar path
+            # (queue_full, deadline, completion) drain the count, so the
+            # tick chain keeps running exactly as long as scalar's does
+            state["outstanding"] = plan.total_admitted
+            if tracer.enabled:
+                plan.emit_shed_traces(tracer)
+
+            def wave_push(request: ServingRequest) -> None:
+                victim = queues[request.task_id].push(request)
+                if victim is not None:
+                    state["outstanding"] -= 1
+                    if tracer.enabled:
+                        # scalar traces this at the arrive event, whose
+                        # time is the newcomer's uplink delivery
+                        tracer.event_at(
+                            "drop.queue_full",
+                            request.uplink_done_at,
+                            cat="serving",
+                            track=f"task{victim.task_id}",
+                            args={"request": victim.request_id},
+                        )
+
+            def wave_collect(task_id: int, request: ServingRequest) -> None:
+                wave_records[task_id].append(request)
+
+            def wave_tick() -> None:
+                now = sim.now
+                plan.begin_tick(now)
+                plan.push_due(now, self.pool, wave_push, wave_collect)
+                drain_window(now)
+                if now < cfg.duration_s or state["outstanding"] > 0:
+                    sim.schedule(cfg.batch_window_s, wave_tick)
+
+            sim.schedule(cfg.batch_window_s, wave_tick)
+        elif served_tasks:
+
+            def emit(task, path, rng) -> None:
+                now = sim.now
+                request = ServingRequest(
+                    task_id=task.task_id,
+                    request_id=state["next_id"],
+                    path=path,
+                    created_at=now,
+                    deadline_at=now + task.max_latency_s,
+                    bits=path.bits_per_image,
+                )
+                state["next_id"] += 1
+                records.append(request)
+                if not gate.allow(task.task_id):
+                    request.drop_reason = DropReason.ADMISSION
+                    if tracer.enabled:
+                        tracer.event_at(
+                            "drop.admission",
+                            now,
+                            cat="serving",
+                            track=f"task{task.task_id}",
+                            args={"request": request.request_id},
+                        )
+                else:
+                    state["outstanding"] += 1
+                    delivery = cell.enqueue_frame(task.task_id, request.bits, now)
+                    request.uplink_done_at = delivery
+
+                    def arrive() -> None:
+                        victim = queues[task.task_id].push(request)
+                        if victim is not None:
+                            state["outstanding"] -= 1
+                            if tracer.enabled:
+                                tracer.event_at(
+                                    "drop.queue_full",
+                                    sim.now,
+                                    cat="serving",
+                                    track=f"task{victim.task_id}",
+                                    args={"request": victim.request_id},
+                                )
+
+                    sim.schedule_at(delivery, arrive)
+                rate = task.request_rate * cfg.load_factor
+                gap = (
+                    float(rng.exponential(1.0 / rate)) if cfg.poisson else 1.0 / rate
+                )
+                if now + gap <= cfg.duration_s:
+                    sim.schedule(gap, lambda: emit(task, path, rng))
+
+            for task, path in served_tasks:
+                rng = np.random.default_rng(cfg.seed * 7919 + task.task_id)
+                sim.schedule(0.0, lambda t=task, p=path, r=rng: emit(t, p, r))
+
+            def dispatch() -> None:
+                now = sim.now
+                drain_window(now)
+                if now < cfg.duration_s or state["outstanding"] > 0:
+                    sim.schedule(cfg.batch_window_s, dispatch)
+
             sim.schedule(cfg.batch_window_s, dispatch)
         if obs is not None and served_tasks:
             sampler = obs.sampler()
@@ -420,12 +489,16 @@ class ServingRuntime:
         # configured horizon (Simulator.run_until works on an empty queue)
         sim.run_until(cfg.duration_s)
 
-        self.last_requests = records
-        by_task: dict[int, list[ServingRequest]] = {
-            task.task_id: [] for task in self.problem.tasks
-        }
-        for request in records:
-            by_task[request.task_id].append(request)
+        if plan is not None:
+            # the wave engine materializes only admitted requests;
+            # admission-shed offers reach the metrics as counts
+            by_task = wave_records
+            self.last_requests = plan.records_in_creation_order(wave_records)
+        else:
+            self.last_requests = records
+            by_task = {task.task_id: [] for task in self.problem.tasks}
+            for request in records:
+                by_task[request.task_id].append(request)
         metrics = ServingMetrics(
             duration_s=max(cfg.duration_s, state["work_end"]),
             total_compute_s=executor.total_compute_s,
@@ -434,8 +507,9 @@ class ServingRuntime:
             prefix_merges=executor.prefix_merges,
         )
         registry = obs.registry if obs is not None else None
+        gated = plan.gated if plan is not None else {}
         for task_id, reqs in by_task.items():
             metrics.tasks[task_id] = TaskServingMetrics.from_requests(
-                task_id, reqs, registry=registry
+                task_id, reqs, registry=registry, gated=gated.get(task_id, 0)
             )
         return metrics

@@ -65,3 +65,35 @@ class TestZeroRequestMetrics:
     def test_drop_reasons_enumerated_even_when_empty(self):
         task = self._empty_task()
         assert set(task.drops) == set(DropReason)
+
+
+class TestSingleSortPercentiles:
+    """Percentiles are computed from one sort per report (satellite S2).
+
+    The pinned values are what the per-percentile ``np.percentile``
+    calls always produced; the batched ``Histogram.percentiles`` path
+    must reproduce them bit for bit.
+    """
+
+    SAMPLES = [0.012, 0.051, 0.008, 0.033, 0.090, 0.027, 0.061, 0.005,
+               0.044, 0.019, 0.072, 0.038]
+
+    def test_latency_stats_pinned_values(self):
+        stats = LatencyStats.from_samples(self.SAMPLES)
+        values = np.asarray(self.SAMPLES, dtype=float)
+        assert stats.p50_s == float(np.percentile(values, 50))
+        assert stats.p95_s == float(np.percentile(values, 95))
+        assert stats.p99_s == float(np.percentile(values, 99))
+        # and against hard-coded references so a convention change trips
+        assert stats.p50_s == pytest.approx(0.0355, abs=1e-12)
+        assert stats.p95_s == pytest.approx(0.08010000000000002, abs=1e-15)
+        assert stats.p99_s == pytest.approx(0.08802000000000001, abs=1e-15)
+
+    def test_batched_percentiles_match_per_call(self):
+        from repro.obs.metrics import Histogram
+
+        rng = np.random.default_rng(7)
+        histogram = Histogram(name="h")
+        histogram.observe_many(rng.exponential(0.02, size=1001))
+        batched = histogram.percentiles((50, 95, 99))
+        assert batched == tuple(histogram.percentile(q) for q in (50, 95, 99))
